@@ -1,0 +1,130 @@
+// Command palu-fit fits the paper's models to a degree histogram given as
+// CSV (degree,count; header optional). It reports the modified
+// Zipf–Mandelbrot fit (Section II.B), the Section IV.B PALU constant
+// estimates, and the Clauset–Shalizi–Newman single power-law baseline,
+// plus an ASCII log-log rendering of data and fit.
+//
+// Usage:
+//
+//	palu-gen -n 500000 | palu-fit
+//	palu-fit -i hist.csv -plot
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"hybridplaw"
+	"hybridplaw/internal/plotio"
+	"hybridplaw/internal/zipfmand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("palu-fit: ")
+	var (
+		in   = flag.String("i", "", "input CSV path (default stdin)")
+		plot = flag.Bool("plot", false, "render an ASCII log-log plot of data and ZM fit")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	h, err := readHistogram(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observations: %d distinct degrees, %d nodes, dmax=%d, D(1)=%.4f\n",
+		len(h.Support()), h.Total(), h.MaxDegree(), h.FractionDegreeOne())
+
+	zmFit, pooled, err := hybridplaw.FitZipfMandelbrot(h)
+	if err != nil {
+		log.Fatalf("Zipf-Mandelbrot fit: %v", err)
+	}
+	fmt.Printf("modified Zipf-Mandelbrot: alpha=%.3f delta=%.3f (SSE=%.4g, KS=%.4g)\n",
+		zmFit.Alpha, zmFit.Delta, zmFit.SSE, zmFit.KS)
+
+	est, err := hybridplaw.EstimatePALU(h)
+	if err != nil {
+		fmt.Printf("PALU estimation: %v\n", err)
+	} else {
+		fmt.Printf("PALU constants (Section IV.B): alpha=%.3f c=%.4g l=%.4g u=%.4g mu=%.4g (tail R2=%.4f over %d points)\n",
+			est.Alpha, est.C, est.L, est.U, est.Mu, est.TailR2, est.TailPoints)
+	}
+
+	pl, err := hybridplaw.FitPowerLaw(h)
+	if err != nil {
+		fmt.Printf("power-law baseline: %v\n", err)
+	} else {
+		fmt.Printf("power-law baseline (CSN): alpha=%.3f xmin=%d KS=%.4g over %d tail nodes\n",
+			pl.Alpha, pl.Xmin, pl.KS, pl.NTail)
+	}
+
+	if *plot {
+		model := zipfmand.Model{Alpha: zmFit.Alpha, Delta: zmFit.Delta}
+		md, err := model.PooledD(h.MaxDegree())
+		if err != nil {
+			log.Fatal(err)
+		}
+		chart, err := plotio.LogLogPlot([]plotio.Series{
+			plotio.PooledSeries("observed D(di)", pooled.D, 'o'),
+			plotio.PooledSeries("ZM fit", md, '+'),
+		}, 72, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Println(chart)
+	}
+}
+
+// readHistogram parses "degree,count" lines, tolerating a header row and
+// blank lines.
+func readHistogram(r io.Reader) (*hybridplaw.Histogram, error) {
+	h := hybridplaw.NewHistogram()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("line %d: want 2 fields, got %d", line, len(parts))
+		}
+		d, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		c, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err1 != nil || err2 != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("line %d: unparseable %q", line, text)
+		}
+		if err := h.AddN(d, c); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if h.Total() == 0 {
+		return nil, fmt.Errorf("no observations parsed")
+	}
+	return h, nil
+}

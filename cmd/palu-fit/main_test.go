@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadHistogram(t *testing.T) {
+	in := "degree,count\n1,100\n2,40\n10,3\n"
+	h, err := readHistogram(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 143 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Count(2) != 40 || h.MaxDegree() != 10 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestReadHistogramNoHeader(t *testing.T) {
+	h, err := readHistogram(strings.NewReader("1,5\n3,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestReadHistogramBlankLines(t *testing.T) {
+	h, err := readHistogram(strings.NewReader("degree,count\n\n1,5\n\n2,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestReadHistogramErrors(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"empty", ""},
+		{"header only", "degree,count\n"},
+		{"wrong fields", "1,2,3\n"},
+		{"garbage mid-file", "1,5\nx,y\n"},
+		{"negative count", "1,-5\n"},
+		{"zero degree", "0,5\n"},
+	}
+	for _, c := range cases {
+		if _, err := readHistogram(strings.NewReader(c.body)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

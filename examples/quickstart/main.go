@@ -1,0 +1,60 @@
+// Quickstart: build a PALU model, observe it through a window, fit the
+// modified Zipf–Mandelbrot distribution, and recover the Section IV.B
+// constants — the library's core loop in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridplaw"
+)
+
+func main() {
+	log.SetFlags(0)
+	// Underlying network: core/leaf/star weights 2:2:1.5, star size λ=2.5,
+	// core exponent α=2 (the constraint C+L+U(1+λ−e^{−λ})=1 is normalized
+	// automatically).
+	params, err := hybridplaw.PALUFromWeights(2, 2, 1.5, 2.5, 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("underlying model:", params)
+
+	// Observe a window covering half the underlying edges (p = 0.5).
+	rng := hybridplaw.NewRNG(1)
+	h, err := hybridplaw.FastObservedHistogram(params, 1_000_000, 0.5, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed %d nodes, dmax=%d, D(1)=%.3f\n",
+		h.Total(), h.MaxDegree(), h.FractionDegreeOne())
+
+	// Fit the empirical model of Section II.B.
+	fit, _, err := hybridplaw.FitZipfMandelbrot(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modified Zipf-Mandelbrot fit: alpha=%.3f delta=%.3f\n",
+		fit.Alpha, fit.Delta)
+
+	// Recover the reduced PALU constants of Section IV.B.
+	est, err := hybridplaw.EstimatePALU(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PALU constants: alpha=%.3f c=%.4f l=%.4f u=%.4f mu=%.3f\n",
+		est.Alpha, est.C, est.L, est.U, est.Mu)
+
+	// Compare with the analytic values the model predicts for this window.
+	obs, err := hybridplaw.NewPALUObservation(params, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := obs.ReducedConstants(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytic truth: alpha=%.3f c=%.4f l=%.4f u=%.4f mu=%.3f\n",
+		truth.Alpha, truth.C, truth.L, truth.U, truth.Mu)
+}

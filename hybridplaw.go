@@ -1,0 +1,231 @@
+// Package hybridplaw is a Go implementation of "Hybrid Power-Law Models of
+// Network Traffic" (Devlin, Kepner, Luo, Meger — IPDPS workshops 2021,
+// arXiv:2103.15928): the PALU (Preferential Attachment + Leaves +
+// Unattached links) generative model of Internet traffic, the modified
+// Zipf–Mandelbrot distribution it explains, the streaming measurement
+// pipeline both are fitted against, and the Section IV.B parameter
+// estimators.
+//
+// The package is a façade: it re-exports the supported surface of the
+// internal packages so downstream users never import hybridplaw/internal.
+//
+// # Quick start
+//
+//	params, _ := hybridplaw.PALUFromWeights(2, 2, 1.5, 2.5, 2.0)
+//	rng := hybridplaw.NewRNG(1)
+//	hist, _ := hybridplaw.FastObservedHistogram(params, 1_000_000, 0.5, rng)
+//	fit, _, _ := hybridplaw.FitZipfMandelbrot(hist)
+//	fmt.Printf("alpha=%.2f delta=%.3f\n", fit.Alpha, fit.Delta)
+//
+// See examples/ for runnable programs and DESIGN.md for the experiment
+// index mapping every table and figure of the paper to code.
+package hybridplaw
+
+import (
+	"hybridplaw/internal/estimate"
+	"hybridplaw/internal/graph"
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/netgen"
+	"hybridplaw/internal/palu"
+	"hybridplaw/internal/powerlaw"
+	"hybridplaw/internal/spmat"
+	"hybridplaw/internal/stream"
+	"hybridplaw/internal/xrand"
+	"hybridplaw/internal/zipfmand"
+)
+
+// RNG is a deterministic, splittable random generator (xoshiro256**).
+type RNG = xrand.RNG
+
+// NewRNG returns a generator seeded via splitmix64.
+func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// PALUParams are the five window-invariant parameters of the PALU model
+// (C, L, U, λ, α) with the Section III.A normalization constraint.
+type PALUParams = palu.Params
+
+// PALUObservation couples parameters with the window-size parameter p.
+type PALUObservation = palu.Observation
+
+// PALUConstants are the reduced degree-law constants (c, l, u, μ, Λ, α).
+type PALUConstants = palu.Constants
+
+// PALUCurve is the one-parameter Eq. (5) family bridging PALU and the
+// modified Zipf–Mandelbrot distribution.
+type PALUCurve = palu.Curve
+
+// PALUUnderlying is a generated underlying network with its categories.
+type PALUUnderlying = palu.Underlying
+
+// PALUGenerateOptions configures graph-based generation.
+type PALUGenerateOptions = palu.GenerateOptions
+
+// NewPALUParams validates an explicit parameter set.
+func NewPALUParams(c, l, u, lambda, alpha float64) (PALUParams, error) {
+	return palu.NewParams(c, l, u, lambda, alpha)
+}
+
+// PALUFromWeights builds parameters from relative section weights,
+// normalizing to satisfy the model constraint exactly.
+func PALUFromWeights(wc, wl, wu, lambda, alpha float64) (PALUParams, error) {
+	return palu.FromWeights(wc, wl, wu, lambda, alpha)
+}
+
+// NewPALUObservation validates an observation configuration.
+func NewPALUObservation(params PALUParams, p float64) (PALUObservation, error) {
+	return palu.NewObservation(params, p)
+}
+
+// GeneratePALU builds an explicit underlying multigraph.
+func GeneratePALU(params PALUParams, opts PALUGenerateOptions, rng *RNG) (*PALUUnderlying, error) {
+	return palu.Generate(params, opts, rng)
+}
+
+// FastObservedHistogram samples the observed degree histogram directly
+// from the model's probabilistic description (scales far beyond the graph
+// path).
+func FastObservedHistogram(params PALUParams, n int, p float64, rng *RNG) (*Histogram, error) {
+	return palu.FastObservedHistogram(params, n, p, rng)
+}
+
+// DeltaFromObservation evaluates the Section VI bridge: the ZM offset δ
+// implied by a PALU observation.
+func DeltaFromObservation(o PALUObservation) (float64, error) {
+	return palu.DeltaFromObservation(o)
+}
+
+// Histogram is a degree histogram n(d) for d >= 1.
+type Histogram = hist.Histogram
+
+// Pooled is a binary-logarithmically pooled differential cumulative
+// probability distribution D(di), di = 2^i.
+type Pooled = hist.Pooled
+
+// Ensemble accumulates pooled distributions across windows (mean ± σ).
+type Ensemble = hist.Ensemble
+
+// NewHistogram returns an empty degree histogram.
+func NewHistogram() *Histogram { return hist.New() }
+
+// HistogramFromCounts builds a histogram from degree → count.
+func HistogramFromCounts(counts map[int]int64) (*Histogram, error) {
+	return hist.FromCounts(counts)
+}
+
+// NewEnsemble returns an empty cross-window ensemble accumulator.
+func NewEnsemble() *Ensemble { return hist.NewEnsemble() }
+
+// ZipfMandelbrot is the modified Zipf–Mandelbrot model p(d) ∝ (d+δ)^{−α}.
+type ZipfMandelbrot = zipfmand.Model
+
+// ZMFitResult is a fitted modified Zipf–Mandelbrot model with diagnostics.
+type ZMFitResult = zipfmand.FitResult
+
+// ZMFitOptions controls the fit objective and starts.
+type ZMFitOptions = zipfmand.FitOptions
+
+// FitZipfMandelbrot fits (α, δ) to a histogram's pooled distribution with
+// the default (log-space least squares) objective.
+func FitZipfMandelbrot(h *Histogram) (ZMFitResult, *Pooled, error) {
+	return zipfmand.FitHistogram(h, zipfmand.DefaultFitOptions())
+}
+
+// FitZipfMandelbrotPooled fits (α, δ) to an explicit pooled distribution.
+func FitZipfMandelbrotPooled(obs *Pooled, dmax int, opts ZMFitOptions) (ZMFitResult, error) {
+	return zipfmand.Fit(obs, dmax, opts)
+}
+
+// EstimateResult holds Section IV.B estimates for a single window.
+type EstimateResult = estimate.Result
+
+// EstimateOptions tunes the estimation pipeline.
+type EstimateOptions = estimate.Options
+
+// WindowEstimate pairs a window estimate with its sampling probability.
+type WindowEstimate = estimate.WindowEstimate
+
+// JointEstimate is the cross-window lift to underlying parameters.
+type JointEstimate = estimate.JointResult
+
+// EstimatePALU runs the Section IV.B pipeline with default options.
+func EstimatePALU(h *Histogram) (EstimateResult, error) {
+	return estimate.Estimate(h, estimate.DefaultOptions())
+}
+
+// EstimatePALUWith runs the pipeline with explicit options.
+func EstimatePALUWith(h *Histogram, opts EstimateOptions) (EstimateResult, error) {
+	return estimate.Estimate(h, opts)
+}
+
+// JointEstimatePALU lifts per-window estimates to the underlying
+// window-invariant parameters.
+func JointEstimatePALU(windows []WindowEstimate) (JointEstimate, error) {
+	return estimate.Joint(windows)
+}
+
+// PowerLawFit is the Clauset–Shalizi–Newman discrete power-law baseline.
+type PowerLawFit = powerlaw.Fit
+
+// FitPowerLaw runs the CSN procedure (KS-optimal xmin, MLE exponent).
+func FitPowerLaw(h *Histogram) (PowerLawFit, error) {
+	return powerlaw.FitScan(h, 0)
+}
+
+// Packet is one observed packet in a traffic stream.
+type Packet = stream.Packet
+
+// Window is an aggregated traffic window At of exactly NV valid packets.
+type Window = stream.Window
+
+// Windower cuts streams into fixed-NV windows.
+type Windower = stream.Windower
+
+// Quantity enumerates the five Fig. 1 network quantities.
+type Quantity = stream.Quantity
+
+// The five streaming network quantities of Fig. 1.
+const (
+	SourcePackets      = stream.SourcePackets
+	SourceFanOut       = stream.SourceFanOut
+	LinkPackets        = stream.LinkPackets
+	DestinationFanIn   = stream.DestinationFanIn
+	DestinationPackets = stream.DestinationPackets
+)
+
+// NewWindower returns a windower with window size nv.
+func NewWindower(nv int64) (*Windower, error) { return stream.NewWindower(nv) }
+
+// CutWindows cuts a packet slice into complete fixed-NV windows.
+func CutWindows(packets []Packet, nv int64) ([]*Window, error) {
+	return stream.Cut(packets, nv)
+}
+
+// QuantityHistogram reduces a window to one quantity's degree histogram.
+func QuantityHistogram(w *Window, q Quantity) (*Histogram, error) {
+	return stream.QuantityHistogram(w, q)
+}
+
+// TrafficMatrix is a sparse traffic matrix At.
+type TrafficMatrix = spmat.Matrix
+
+// TrafficAggregates bundles the four Table I aggregate properties.
+type TrafficAggregates = spmat.Aggregates
+
+// Graph is an undirected multigraph.
+type Graph = graph.Graph
+
+// Topology is the Fig. 2 decomposition of a traffic network.
+type Topology = graph.Topology
+
+// SiteConfig configures a synthetic traffic observatory (the MAWI/CAIDA
+// substitute).
+type SiteConfig = netgen.SiteConfig
+
+// Site is an instantiated observatory.
+type Site = netgen.Site
+
+// NewSite builds an observatory from a configuration.
+func NewSite(cfg SiteConfig) (*Site, error) { return netgen.NewSite(cfg) }
+
+// Figure3Panels returns the six built-in Fig. 3 panel presets.
+func Figure3Panels() []netgen.PanelSpec { return netgen.Figure3Panels() }

@@ -1,0 +1,199 @@
+package hybridplaw
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README
+// quick-start describes: model → observation → fit → estimate.
+func TestFacadeEndToEnd(t *testing.T) {
+	params, err := PALUFromWeights(2, 2, 1.5, 2.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(1)
+	h, err := FastObservedHistogram(params, 300000, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, pooled, err := FitZipfMandelbrot(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Alpha <= 1 || fit.Alpha > 4 {
+		t.Errorf("fit alpha = %v", fit.Alpha)
+	}
+	if pooled.NumBins() == 0 {
+		t.Error("empty pooled distribution")
+	}
+	est, err := EstimatePALU(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Alpha-2.0) > 0.2 {
+		t.Errorf("estimated alpha = %v", est.Alpha)
+	}
+}
+
+func TestFacadeStreamPipeline(t *testing.T) {
+	params, err := PALUFromWeights(2, 2, 1, 2, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := NewSite(SiteConfig{
+		Name: "facade", Params: params, Nodes: 20000, P: 0.5,
+		WeightAlpha: 2.1, WeightDelta: 0, MaxWeight: 512,
+		InvalidFraction: 0.02, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := site.GenerateWindows(2, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Quantity{SourcePackets, SourceFanOut, LinkPackets, DestinationFanIn, DestinationPackets} {
+		h, err := QuantityHistogram(wins[0], q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Total() == 0 {
+			t.Errorf("%v: empty histogram", q)
+		}
+	}
+	agg := wins[0].Matrix.TableI()
+	if agg.ValidPackets != 20000 {
+		t.Errorf("NV = %d", agg.ValidPackets)
+	}
+}
+
+func TestFacadeGraphPath(t *testing.T) {
+	params, err := PALUFromWeights(2, 2, 1.5, 2, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(3)
+	u, err := GeneratePALU(params, PALUGenerateOptions{N: 50000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := u.Observe(0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := obs.DecomposeTopology()
+	if topo.SupernodeDegree <= 0 {
+		t.Error("no supernode")
+	}
+	if topo.UnattachedLinks == 0 {
+		t.Error("no unattached links")
+	}
+}
+
+func TestFacadeBridgeAndCurve(t *testing.T) {
+	params, err := PALUFromWeights(2, 1, 1, 3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewPALUObservation(params, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := DeltaFromObservation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta >= 0 || delta <= -1 {
+		t.Errorf("bridge delta = %v", delta)
+	}
+	c := PALUCurve{Alpha: 2, Delta: delta, R: 2}
+	pmf, err := c.PMF(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range pmf {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("curve pmf mass = %v", sum)
+	}
+}
+
+func TestFacadeJointEstimate(t *testing.T) {
+	params, err := PALUFromWeights(2, 2, 1.5, 3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(11)
+	var wins []WindowEstimate
+	for _, p := range []float64{0.4, 0.6, 0.8} {
+		h, err := FastObservedHistogram(params, 800000, p, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := EstimatePALU(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins = append(wins, WindowEstimate{Result: est, P: p})
+	}
+	joint, err := JointEstimatePALU(wins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(joint.Params.Alpha-2.0) > 0.2 {
+		t.Errorf("joint alpha = %v", joint.Params.Alpha)
+	}
+}
+
+func TestFacadePowerLawBaseline(t *testing.T) {
+	rng := NewRNG(5)
+	h := NewHistogram()
+	for i := 0; i < 50000; i++ {
+		d, err := rng.Zeta(2.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := FitPowerLaw(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Alpha-2.3) > 0.15 {
+		t.Errorf("baseline alpha = %v", f.Alpha)
+	}
+}
+
+func TestFacadeWindower(t *testing.T) {
+	w, err := NewWindower(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wins []*Window
+	rng := NewRNG(2)
+	for i := 0; i < 350; i++ {
+		pkt := Packet{Src: uint32(rng.Intn(50)), Dst: uint32(rng.Intn(50)), Valid: true}
+		if win := w.Push(pkt); win != nil {
+			wins = append(wins, win)
+		}
+	}
+	if len(wins) != 3 {
+		t.Errorf("windows = %d", len(wins))
+	}
+	ps := make([]Packet, 500)
+	for i := range ps {
+		ps[i] = Packet{Src: 1, Dst: 2, Valid: true}
+	}
+	cut, err := CutWindows(ps, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) != 5 {
+		t.Errorf("cut windows = %d", len(cut))
+	}
+}

@@ -1,0 +1,99 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/stats"
+	"hybridplaw/internal/xrand"
+)
+
+// Interval is a two-sided bootstrap percentile interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies in [Lo, Hi].
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Width returns Hi − Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// ConfidenceIntervals are percentile bootstrap intervals for the Section
+// IV.B estimates — the uncertainty quantification the paper leaves
+// implicit behind its ±1σ error bars.
+type ConfidenceIntervals struct {
+	Alpha, C, L, U, Mu Interval
+	// Level is the nominal coverage (e.g. 0.9).
+	Level float64
+	// Reps is the number of bootstrap replicates that produced estimates.
+	Reps int
+}
+
+// BootstrapEstimate resamples the degree histogram (nonparametric
+// multinomial bootstrap), re-runs the estimation pipeline on each
+// replicate, and returns percentile intervals at the given level.
+// Replicates whose estimation fails (e.g. degenerate resampled tails) are
+// skipped; at least half must succeed.
+func BootstrapEstimate(h *hist.Histogram, opts Options, reps int, level float64, rng *xrand.RNG) (ConfidenceIntervals, error) {
+	if h == nil || h.Total() == 0 {
+		return ConfidenceIntervals{}, errors.New("estimate: empty histogram")
+	}
+	if reps < 10 {
+		return ConfidenceIntervals{}, errors.New("estimate: need at least 10 bootstrap reps")
+	}
+	if level <= 0 || level >= 1 {
+		return ConfidenceIntervals{}, errors.New("estimate: level must be in (0,1)")
+	}
+	support := h.Support()
+	counts := make([]float64, len(support))
+	for i, d := range support {
+		counts[i] = float64(h.Count(d))
+	}
+	var alphas, cs, ls, us, mus []float64
+	n := int(h.Total())
+	for rep := 0; rep < reps; rep++ {
+		resampled := stats.BootstrapCounts(rng, counts, n)
+		hb := hist.New()
+		for i, c := range resampled {
+			if c > 0 {
+				if err := hb.AddN(support[i], int64(c)); err != nil {
+					return ConfidenceIntervals{}, err
+				}
+			}
+		}
+		res, err := Estimate(hb, opts)
+		if err != nil {
+			continue
+		}
+		alphas = append(alphas, res.Alpha)
+		cs = append(cs, res.C)
+		ls = append(ls, res.L)
+		us = append(us, res.U)
+		mus = append(mus, res.Mu)
+	}
+	if len(alphas) < reps/2 {
+		return ConfidenceIntervals{}, errors.New("estimate: too many bootstrap replicates failed")
+	}
+	ci := ConfidenceIntervals{Level: level, Reps: len(alphas)}
+	ci.Alpha = percentileInterval(alphas, level)
+	ci.C = percentileInterval(cs, level)
+	ci.L = percentileInterval(ls, level)
+	ci.U = percentileInterval(us, level)
+	ci.Mu = percentileInterval(mus, level)
+	return ci, nil
+}
+
+func percentileInterval(xs []float64, level float64) Interval {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	tail := (1 - level) / 2
+	lo := stats.Quantile(sorted, tail)
+	hi := stats.Quantile(sorted, 1-tail)
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return Interval{}
+	}
+	return Interval{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,128 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"hybridplaw/internal/palu"
+	"hybridplaw/internal/xrand"
+)
+
+// TestDirectedModelSmallImpact makes the paper's Section III claim
+// executable: "Using a directed model has a small impact on the overall
+// degree distribution analysis." The in-, out-, and total-degree
+// distributions of a directed PALU observation must share the tail
+// exponent α; only the amplitude shifts (by q^{α−1}).
+func TestDirectedModelSmallImpact(t *testing.T) {
+	params, err := palu.FromWeights(2, 2, 1.5, 2.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2025)
+	dh, err := palu.FastDirectedHistograms(params, 1_200_000, 0.5, 0.5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := Estimate(dh.Total, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Estimate(dh.Out, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Estimate(dh.In, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total.Alpha-out.Alpha) > 0.15 {
+		t.Errorf("directed split changed alpha: total %v vs out %v", total.Alpha, out.Alpha)
+	}
+	if math.Abs(in.Alpha-out.Alpha) > 0.15 {
+		t.Errorf("in/out asymmetry at q=0.5: in %v vs out %v", in.Alpha, out.Alpha)
+	}
+	// Amplitude prediction: c_out/c_total ≈ q^{α−1} (modulo the change of
+	// normalizing population). The ratio of raw tail masses at a reference
+	// degree is the cleaner check: count_out(d)/count_total(d) → q^{α−1}.
+	want, err := palu.DirectedTailAmplitudeRatio(params.Alpha, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotSum, wantSum float64
+	for d := 16; d <= 64; d++ {
+		ct := dh.Total.Count(d)
+		co := dh.Out.Count(d)
+		if ct == 0 {
+			continue
+		}
+		gotSum += float64(co)
+		wantSum += want * float64(ct)
+	}
+	if wantSum == 0 {
+		t.Fatal("no tail mass to compare")
+	}
+	if ratio := gotSum / wantSum; math.Abs(ratio-1) > 0.2 {
+		t.Errorf("out/total tail amplitude ratio off by %v (want q^{α−1} = %v)", ratio, want)
+	}
+}
+
+func TestFastDirectedHistogramsInvariants(t *testing.T) {
+	params, err := palu.FromWeights(2, 2, 1.5, 2.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(404)
+	dh, err := palu.FastDirectedHistograms(params, 200000, 0.6, 0.3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge conservation: total in-degree mass + ... = total degree mass.
+	mass := func(h interface {
+		Support() []int
+		Count(int) int64
+	}) int64 {
+		var m int64
+		for _, d := range h.Support() {
+			m += int64(d) * h.Count(d)
+		}
+		return m
+	}
+	if got := mass(dh.In) + mass(dh.Out); got != mass(dh.Total) {
+		t.Errorf("in+out degree mass %d != total %d", got, mass(dh.Total))
+	}
+	// q=0.3 → out-degree mass ≈ 0.3 of total.
+	frac := float64(mass(dh.Out)) / float64(mass(dh.Total))
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("out mass fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestFastDirectedHistogramsErrors(t *testing.T) {
+	params, _ := palu.FromWeights(2, 2, 1.5, 2.5, 2.0)
+	r := xrand.New(1)
+	if _, err := palu.FastDirectedHistograms(params, 0, 0.5, 0.5, r); err == nil {
+		t.Error("n=0: expected error")
+	}
+	if _, err := palu.FastDirectedHistograms(params, 100, 1.5, 0.5, r); err == nil {
+		t.Error("p>1: expected error")
+	}
+	if _, err := palu.FastDirectedHistograms(params, 100, 0.5, -0.1, r); err == nil {
+		t.Error("q<0: expected error")
+	}
+}
+
+func TestDirectedTailAmplitudeRatio(t *testing.T) {
+	got, err := palu.DirectedTailAmplitudeRatio(2.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ratio = %v, want 0.5 for alpha=2 q=0.5", got)
+	}
+	if _, err := palu.DirectedTailAmplitudeRatio(1.0, 0.5); err == nil {
+		t.Error("alpha=1: expected error")
+	}
+	if _, err := palu.DirectedTailAmplitudeRatio(2.0, 0); err == nil {
+		t.Error("q=0: expected error")
+	}
+}

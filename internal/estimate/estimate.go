@@ -1,0 +1,266 @@
+// Package estimate implements the parameter-estimation methodology of
+// Section IV.B: from an observed degree distribution it recovers the
+// reduced constants (c, α) by tail regression, the Poisson mean μ = λp by
+// the moment-ratio identity (with the paper's algebra slip corrected,
+// erratum E1), u by least squares against the Poisson term, and l exactly
+// from the degree-1 equation. A cross-window joint estimator then lifts
+// per-window constants to the underlying window-invariant parameters
+// (C, L, U, λ, α) using the Section III claim that only p changes with
+// window size.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/palu"
+	"hybridplaw/internal/specialfn"
+	"hybridplaw/internal/stats"
+)
+
+// Options tunes the single-window estimator.
+type Options struct {
+	// TailMinDegree is the smallest degree included in the tail regression
+	// (Eq. (4) holds for d >= 10; default 10).
+	TailMinDegree int
+	// TailPooled selects the pooled-bin tail regression (slope 1−α,
+	// Section IV.A) instead of point-wise regression (slope −α).
+	TailPooled bool
+	// SumMaxDegree caps the moment-ratio sums of Eq. (3) residuals
+	// (default 128; the Poisson term is negligible beyond ~μ+10√μ).
+	SumMaxDegree int
+	// MomentU, when true, estimates u from the residual sum
+	// S0 = u(e^μ−1−μ) instead of the point-wise regression ("a more
+	// robust estimate than the point-wise estimates of (3)", Section IV.B).
+	MomentU bool
+}
+
+// DefaultOptions mirrors the paper's recommended procedure: pooled tail
+// fit, moment-based μ and u.
+func DefaultOptions() Options {
+	return Options{TailMinDegree: 10, TailPooled: true, SumMaxDegree: 128, MomentU: true}
+}
+
+// Result holds estimated reduced constants for a single window.
+type Result struct {
+	// Alpha is the power-law exponent from the tail regression.
+	Alpha float64
+	// C is the paper's c constant (power-law amplitude).
+	C float64
+	// Mu is the Poisson mean μ = λp from the moment-ratio inversion.
+	Mu float64
+	// U is the paper's u constant (star amplitude).
+	U float64
+	// L is the paper's l constant, solved exactly from the degree-1 ratio.
+	L float64
+	// TailR2 is the coefficient of determination of the tail regression.
+	TailR2 float64
+	// TailPoints is the number of regression points used.
+	TailPoints int
+	// MomentRatio is the observed S1/S0 ratio fed into the μ inversion
+	// (NaN when the star signal is absent).
+	MomentRatio float64
+}
+
+// Constants converts the estimate to a palu.Constants for evaluating the
+// reduced degree law.
+func (r Result) Constants() palu.Constants {
+	return palu.Constants{
+		C: r.C, L: r.L, U: r.U, Mu: r.Mu, Lambda: math.E * r.Mu, Alpha: r.Alpha,
+	}
+}
+
+// ErrNoTail indicates too few distinct tail degrees for a regression.
+var ErrNoTail = errors.New("estimate: insufficient tail support for regression")
+
+// Estimate runs the full Section IV.B pipeline on an observed degree
+// histogram.
+func Estimate(h *hist.Histogram, opts Options) (Result, error) {
+	if h == nil || h.Total() == 0 {
+		return Result{}, errors.New("estimate: empty histogram")
+	}
+	if opts.TailMinDegree < 2 {
+		opts.TailMinDegree = 2
+	}
+	if opts.SumMaxDegree < 8 {
+		opts.SumMaxDegree = 128
+	}
+	var res Result
+	var err error
+	// Step (a): fit c and alpha to the tail (Eq. (4)).
+	if opts.TailPooled {
+		res.Alpha, res.C, res.TailR2, res.TailPoints, err = pooledTailFit(h, opts.TailMinDegree)
+	} else {
+		res.Alpha, res.C, res.TailR2, res.TailPoints, err = pointwiseTailFit(h, opts.TailMinDegree)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	// Step (b): moment-ratio inversion for μ (erratum E1: M(μ) =
+	// μ(e^μ−1)/(e^μ−1−μ)), then u. Two passes: a rough μ from a short sum
+	// window, then a final sum truncated where the Poisson mass ends, so
+	// power-law tail noise does not leak into the d-weighted moment.
+	total := float64(h.Total())
+	momentSums := func(maxD int) (s0, s1 float64) {
+		if m := h.MaxDegree(); maxD > m {
+			maxD = m
+		}
+		for d := 2; d <= maxD; d++ {
+			ratio := float64(h.Count(d)) / total
+			resid := ratio - res.C*math.Pow(float64(d), -res.Alpha)
+			s0 += resid
+			s1 += float64(d) * resid
+		}
+		return s0, s1
+	}
+	s0, s1 := momentSums(32)
+	if s0 > 0 && s1 > 0 {
+		if mu0, merr := specialfn.SolveMomentRatio(s1 / s0); merr == nil && mu0 > 0 {
+			cut := int(math.Ceil(mu0+8*math.Sqrt(mu0))) + 4
+			if cut > opts.SumMaxDegree {
+				cut = opts.SumMaxDegree
+			}
+			if cut > 32 {
+				s0, s1 = momentSums(cut)
+			}
+		}
+	}
+	var starDegreeOne float64
+	if s0 <= 0 || s1 <= 0 {
+		// No detectable star signal: the distribution is pure power law
+		// plus leaves. μ and u collapse to zero.
+		res.Mu, res.U = 0, 0
+		res.MomentRatio = math.NaN()
+	} else {
+		res.MomentRatio = s1 / s0
+		res.Mu, err = specialfn.SolveMomentRatio(res.MomentRatio)
+		if err != nil {
+			return Result{}, fmt.Errorf("estimate: mu inversion: %w", err)
+		}
+		if opts.MomentU {
+			// S0 = u·Σ_{d≥2} μ^d/d! = u(e^μ − 1 − μ).
+			den := math.Expm1(res.Mu) - res.Mu
+			if den > 0 {
+				res.U = s0 / den
+			}
+		} else {
+			res.U, err = regressU(h, res, opts.SumMaxDegree)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		// The unattached degree-1 mass is star leaves + centers observed
+		// with exactly one leaf: (U/V)μ + uμ. Using the identity
+		// (U/V)μ = u·μ·e^μ = S1/(1 − e^{−μ}) keeps the estimate linear in
+		// the measured S1 instead of amplifying μ̂ errors through e^{μ̂}.
+		if res.Mu > 0 {
+			starDegreeOne = s1/(-math.Expm1(-res.Mu)) + res.U*res.Mu
+		}
+	}
+	// Step (c): solve l exactly from the degree-1 ratio:
+	// ratio(1) = c + l + (star degree-1 mass).
+	ratio1 := float64(h.Count(1)) / total
+	res.L = ratio1 - res.C - starDegreeOne
+	return res, nil
+}
+
+// pointwiseTailFit regresses log ratio(d) on log d over the support with
+// d >= dmin: slope −α, intercept log c. Points are weighted by their
+// observation count: Var[log n̂(d)] ≈ 1/n(d) under Poisson sampling, so
+// count weighting is the inverse-variance choice and stops single-node
+// tail degrees from dominating the fit.
+func pointwiseTailFit(h *hist.Histogram, dmin int) (alpha, c, r2 float64, n int, err error) {
+	total := float64(h.Total())
+	var xs, ys, ws []float64
+	for _, d := range h.Support() {
+		if d < dmin {
+			continue
+		}
+		cnt := float64(h.Count(d))
+		xs = append(xs, math.Log(float64(d)))
+		ys = append(ys, math.Log(cnt/total))
+		ws = append(ws, cnt)
+	}
+	if len(xs) < 3 {
+		return 0, 0, 0, 0, ErrNoTail
+	}
+	fit, err := stats.WeightedOLS(xs, ys, ws)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return -fit.Slope, math.Exp(fit.Intercept), fit.R2, fit.N, nil
+}
+
+// pooledTailFit regresses log D(di) on log 2^i over pooled bins whose
+// lower edge is >= dmin. Per Section IV.A the slope is 1−α; the amplitude
+// follows from the integral of c·x^{−α} over the bin:
+// D(di) ≈ c (1−2^{1−α})/(α−1) · di^{1−α} (evaluated at the upper edge di).
+func pooledTailFit(h *hist.Histogram, dmin int) (alpha, c, r2 float64, n int, err error) {
+	pooled, perr := h.Pool()
+	if perr != nil {
+		return 0, 0, 0, 0, perr
+	}
+	var xs, ys, ws []float64
+	total := float64(h.Total())
+	// The final bin is excluded: it generally covers only part of
+	// (2^{i-1}, dmax] and would bias the slope downward. Bins are weighted
+	// by their observation count (inverse log-variance under Poisson
+	// sampling), so sparse high-degree bins do not dominate.
+	for i := 0; i < len(pooled.D)-1; i++ {
+		if hist.BinLower(i) < dmin || pooled.D[i] <= 0 {
+			continue
+		}
+		xs = append(xs, float64(i)*math.Ln2)
+		ys = append(ys, math.Log(pooled.D[i]))
+		ws = append(ws, pooled.D[i]*total)
+	}
+	if len(xs) < 3 {
+		return 0, 0, 0, 0, ErrNoTail
+	}
+	fit, ferr := stats.WeightedOLS(xs, ys, ws)
+	if ferr != nil {
+		return 0, 0, 0, 0, ferr
+	}
+	alpha = 1 - fit.Slope
+	if alpha <= 1 {
+		// Tail too shallow to invert the pooled amplitude; fall back to the
+		// point-wise estimate which handles sub-critical slopes.
+		return pointwiseTailFit(h, dmin)
+	}
+	// Invert the bin-integral amplitude: the bin ending at di = 2^i sums
+	// c·x^{−α} over (di/2, di], so D(di) ≈ c·k·di^{1−α} with
+	// k = (2^{α−1} − 1)/(α−1).
+	k := (math.Pow(2, alpha-1) - 1) / (alpha - 1)
+	c = math.Exp(fit.Intercept) / k
+	return alpha, c, fit.R2, fit.N, nil
+}
+
+// regressU estimates u by weighted least squares through the origin on
+// residual(d) ≈ u · μ^d/d! over d = 2..maxD.
+func regressU(h *hist.Histogram, res Result, maxD int) (float64, error) {
+	total := float64(h.Total())
+	var xs, ys, ws []float64
+	for d := 2; d <= maxD; d++ {
+		x := math.Exp(float64(d)*math.Log(res.Mu) - specialfn.LogFactorial(d))
+		if res.Mu == 0 || x < 1e-300 {
+			break
+		}
+		ratio := float64(h.Count(d)) / total
+		xs = append(xs, x)
+		ys = append(ys, ratio-res.C*math.Pow(float64(d), -res.Alpha))
+		ws = append(ws, 1)
+	}
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	u, err := stats.RegressThroughOrigin(xs, ys, ws)
+	if err != nil {
+		return 0, err
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u, nil
+}

@@ -1,0 +1,175 @@
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hybridplaw/internal/palu"
+	"hybridplaw/internal/specialfn"
+	"hybridplaw/internal/stats"
+)
+
+// WindowEstimate pairs a single-window Result with the window's known (or
+// externally calibrated) edge-sampling probability p.
+type WindowEstimate struct {
+	Result
+	P float64
+}
+
+// JointResult is the cross-window reconstruction of the underlying
+// window-invariant PALU parameters.
+type JointResult struct {
+	Params palu.Params
+	// CL and UL are the recovered C/L and U/L abundance ratios.
+	CL, UL float64
+	// AlphaSpread is the max-min spread of per-window α estimates, a
+	// window-invariance diagnostic (should be small).
+	AlphaSpread float64
+	// LambdaSpread is the relative spread of per-window λ = μ/p estimates.
+	LambdaSpread float64
+}
+
+// Joint lifts per-window reduced constants to underlying parameters using
+// the Section III invariance claim: λ, C, L, U, α are window-independent
+// while p varies. The per-window constants satisfy
+//
+//	c_w/l_w = (C/L)·p_w^{α−2}/ζ(α)      u_w/l_w = (U/L)·e^{−μ_w}/p_w
+//
+// (from the exact thinned-tail amplitude c_w = C p_w^{α−1}/(ζ(α)V_w),
+// erratum E6, together with l_w = L p_w/V_w and u_w = U e^{−μ_w}/V_w —
+// the unknown normalizer V_w cancels in ratios). Combined with the
+// constraint C + L + U(1+λ−e^{−λ}) = 1 this pins down absolute values.
+func Joint(windows []WindowEstimate) (JointResult, error) {
+	if len(windows) < 2 {
+		return JointResult{}, errors.New("estimate: joint estimation needs >= 2 windows")
+	}
+	var alphas, lambdas, clRatios, ulRatios []float64
+	usable := 0
+	for i, w := range windows {
+		if w.P <= 0 || w.P > 1 {
+			return JointResult{}, fmt.Errorf("estimate: window %d has invalid p=%v", i, w.P)
+		}
+		if w.L <= 0 {
+			// A window whose leaf constant collapsed (noisy fit) cannot
+			// contribute to the ratio lift; skip it rather than poison the
+			// aggregate.
+			continue
+		}
+		usable++
+		alphas = append(alphas, w.Alpha)
+		if w.Mu > 0 {
+			lambdas = append(lambdas, w.Mu/w.P)
+		}
+		z := specialfn.MustZeta(clampAlpha(w.Alpha))
+		// C/L = (c_w/l_w) · ζ(α) / p_w^{α−2}
+		clRatios = append(clRatios, w.C/w.L*z/math.Pow(w.P, clampAlpha(w.Alpha)-2))
+		// U/L = (u_w/l_w) · e^{μ_w} · p_w ... from u_w/l_w = (U/L) e^{−μ}/p:
+		// U/L = (u_w/l_w) e^{μ_w} p_w.
+		ulRatios = append(ulRatios, w.U/w.L*math.Exp(w.Mu)*w.P)
+	}
+	if usable < 2 {
+		return JointResult{}, fmt.Errorf("estimate: only %d usable windows (positive l) of %d", usable, len(windows))
+	}
+	// Medians: single-window estimates occasionally destabilize (the
+	// Section IV.B pipeline is sensitive to tail-fit noise) and a robust
+	// center keeps one bad window from dominating the lift.
+	alpha := stats.Median(alphas)
+	lambda := 0.0
+	if len(lambdas) > 0 {
+		lambda = stats.Median(lambdas)
+	}
+	if lambda > palu.MaxLambda {
+		lambda = palu.MaxLambda
+	}
+	cl := stats.Median(clRatios)
+	ul := stats.Median(ulRatios)
+	if cl < 0 {
+		cl = 0
+	}
+	if ul < 0 {
+		ul = 0
+	}
+	params, err := palu.FromWeights(cl, 1, ul, lambda, clampAlpha(alpha))
+	if err != nil {
+		return JointResult{}, fmt.Errorf("estimate: joint lift: %w", err)
+	}
+	out := JointResult{Params: params, CL: cl, UL: ul}
+	out.AlphaSpread = spread(alphas)
+	if len(lambdas) > 1 && lambda > 0 {
+		out.LambdaSpread = spread(lambdas) / lambda
+	}
+	return out, nil
+}
+
+func clampAlpha(a float64) float64 {
+	if a <= palu.MinAlpha+0.01 {
+		return palu.MinAlpha + 0.01
+	}
+	if a > palu.MaxAlpha {
+		return palu.MaxAlpha
+	}
+	return a
+}
+
+func spread(xs []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return hi - lo
+}
+
+// ScalingDiagnostics verifies the Section III window-invariance scaling
+// laws on per-window estimates with known p: fitted log c_w against
+// log p_w has slope α (from c ∝ p^α with the V_w denominator's weak p
+// dependence removed via the l_w-ratio), and μ_w/p_w is constant.
+type ScalingDiagnostics struct {
+	// CLSlope is the regression slope of log(c_w/l_w) on log p_w;
+	// the exact thinned-tail model predicts α − 2 (erratum E6).
+	CLSlope float64
+	// CLSlopeWant is α−2 evaluated at the mean fitted α.
+	CLSlopeWant float64
+	// LambdaCV is the coefficient of variation of λ̂_w = μ_w/p_w.
+	LambdaCV float64
+}
+
+// Scaling computes the window-invariance diagnostics.
+func Scaling(windows []WindowEstimate) (ScalingDiagnostics, error) {
+	if len(windows) < 2 {
+		return ScalingDiagnostics{}, errors.New("estimate: scaling needs >= 2 windows")
+	}
+	var xs, ys, alphas, lambdas []float64
+	for _, w := range windows {
+		if w.P <= 0 || w.L <= 0 || w.C <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(w.P))
+		ys = append(ys, math.Log(w.C/w.L))
+		alphas = append(alphas, w.Alpha)
+		if w.Mu > 0 {
+			lambdas = append(lambdas, w.Mu/w.P)
+		}
+	}
+	if len(xs) < 2 {
+		return ScalingDiagnostics{}, errors.New("estimate: not enough usable windows")
+	}
+	fit, err := stats.OLS(xs, ys)
+	if err != nil {
+		return ScalingDiagnostics{}, err
+	}
+	var diag ScalingDiagnostics
+	diag.CLSlope = fit.Slope
+	diag.CLSlopeWant = stats.Mean(alphas) - 2
+	if len(lambdas) > 1 {
+		var w stats.Welford
+		for _, l := range lambdas {
+			w.Add(l)
+		}
+		if w.Mean() > 0 {
+			diag.LambdaCV = w.StdDev() / w.Mean()
+		}
+	}
+	return diag, nil
+}

@@ -1,0 +1,42 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"hybridplaw/internal/palu"
+	"hybridplaw/internal/xrand"
+)
+
+func TestWeightedPacketDegreeTail(t *testing.T) {
+	// Weighted PALU extension (paper Section VII): the packet-degree tail
+	// follows the heavier of the degree and weight laws. Fit the tail of
+	// the weighted histogram and check it lands on the weight exponent.
+	params, err := palu.FromWeights(3, 1, 0.5, 1.5, 2.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := palu.WeightModel{Alpha: 1.9, Delta: 0, MaxWeight: 1 << 14}
+	want := palu.ExpectedPacketDegreeTailExponent(params, wm)
+	r := xrand.New(777)
+	wh, err := palu.FastWeightedHistograms(params, 600000, 0.6, wm, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Estimate(wh.PacketDegree, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Alpha-want) > 0.25 {
+		t.Errorf("packet-degree tail alpha = %v, want ~%v (weight law dominates)",
+			res.Alpha, want)
+	}
+	// Control: the unweighted degree histogram keeps the degree exponent.
+	resD, err := Estimate(wh.Degree, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resD.Alpha-params.Alpha) > 0.3 {
+		t.Errorf("degree tail alpha = %v, want ~%v", resD.Alpha, params.Alpha)
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunDirectedAblation(t *testing.T) {
+	res, err := RunDirectedAblation(7, 600000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalAlpha-res.OutAlpha) > 0.15 {
+		t.Errorf("total alpha %v vs out alpha %v", res.TotalAlpha, res.OutAlpha)
+	}
+	if math.Abs(res.InAlpha-res.OutAlpha) > 0.15 {
+		t.Errorf("in alpha %v vs out alpha %v", res.InAlpha, res.OutAlpha)
+	}
+	if math.Abs(res.AmplitudeRatio-res.Predicted) > 0.2*res.Predicted {
+		t.Errorf("amplitude ratio %v, predicted %v", res.AmplitudeRatio, res.Predicted)
+	}
+}
+
+func TestRunWeightedExtension(t *testing.T) {
+	res, err := RunWeightedExtension(9, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PacketAlpha-res.PredictedPacketAlpha) > 0.3 {
+		t.Errorf("packet alpha %v, predicted %v", res.PacketAlpha, res.PredictedPacketAlpha)
+	}
+	if res.DegreeAlpha <= res.PacketAlpha {
+		t.Errorf("degree tail (%v) should be steeper than packet tail (%v)",
+			res.DegreeAlpha, res.PacketAlpha)
+	}
+	if res.MeanWeight <= 1 {
+		t.Errorf("mean weight = %v", res.MeanWeight)
+	}
+}

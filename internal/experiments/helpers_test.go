@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"testing"
+
+	"hybridplaw/internal/netgen"
+)
+
+// netgenPanel returns a scaled-down Fig. 3 panel for fast unit tests.
+func netgenPanel(t *testing.T) netgen.PanelSpec {
+	t.Helper()
+	spec := netgen.Figure3Panels()[2] // link packets (smallest NV)
+	spec.NV = 30000
+	spec.Windows = 2
+	spec.Site.Nodes = 20000
+	return spec
+}

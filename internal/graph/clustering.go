@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+
+	"hybridplaw/internal/xrand"
+)
+
+// Clustering coefficients are one of the paper's named future-work items
+// ("deeper study into the degree distribution and clustering
+// coefficients", Section VII). PALU networks make a sharp prediction:
+// leaves and star components contribute zero triangles, so both the
+// global (transitivity) and mean-local clustering of a PALU network are
+// depressed relative to a preferential-attachment core of the same size —
+// the dilution is measurable and model-parameter dependent.
+
+// adjacency builds a neighbour-set representation, deduplicating
+// multi-edges and ignoring self-loops (which never close triangles).
+func (g *Graph) adjacency() []map[int32]struct{} {
+	adj := make([]map[int32]struct{}, g.n)
+	for _, e := range g.edges {
+		if e.U == e.V {
+			continue
+		}
+		if adj[e.U] == nil {
+			adj[e.U] = make(map[int32]struct{})
+		}
+		if adj[e.V] == nil {
+			adj[e.V] = make(map[int32]struct{})
+		}
+		adj[e.U][e.V] = struct{}{}
+		adj[e.V][e.U] = struct{}{}
+	}
+	return adj
+}
+
+// GlobalClustering returns the transitivity of the simple graph underlying
+// g: 3 × (number of triangles) / (number of connected triples). It returns
+// 0 for graphs with no connected triples.
+func (g *Graph) GlobalClustering() float64 {
+	adj := g.adjacency()
+	var triangles, triples int64
+	for u := range adj {
+		du := int64(len(adj[u]))
+		triples += du * (du - 1) / 2
+		// Count triangles through u by scanning neighbour pairs with the
+		// smaller adjacency set.
+		neigh := make([]int32, 0, len(adj[u]))
+		for v := range adj[u] {
+			neigh = append(neigh, v)
+		}
+		sort.Slice(neigh, func(i, j int) bool { return neigh[i] < neigh[j] })
+		for i := 0; i < len(neigh); i++ {
+			for j := i + 1; j < len(neigh); j++ {
+				if _, ok := adj[neigh[i]][neigh[j]]; ok {
+					triangles++
+				}
+			}
+		}
+	}
+	if triples == 0 {
+		return 0
+	}
+	// Each triangle is counted once per corner = 3 times; transitivity is
+	// 3·T/triples with T the triangle count, so triangles (corner count)
+	// already equals 3·T.
+	return float64(triangles) / float64(triples)
+}
+
+// LocalClustering returns the clustering coefficient of node u: the edge
+// density among its (deduplicated) neighbours. Nodes of simple degree < 2
+// have coefficient 0 by convention.
+func (g *Graph) LocalClustering(u int32) (float64, error) {
+	if int(u) < 0 || int(u) >= g.n {
+		return 0, errors.New("graph: node out of range")
+	}
+	adj := g.adjacency()
+	return localFromAdj(adj, u), nil
+}
+
+func localFromAdj(adj []map[int32]struct{}, u int32) float64 {
+	nu := adj[u]
+	k := len(nu)
+	if k < 2 {
+		return 0
+	}
+	neigh := make([]int32, 0, k)
+	for v := range nu {
+		neigh = append(neigh, v)
+	}
+	var links int
+	for i := 0; i < len(neigh); i++ {
+		for j := i + 1; j < len(neigh); j++ {
+			if _, ok := adj[neigh[i]][neigh[j]]; ok {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(k*(k-1))
+}
+
+// MeanLocalClustering returns the average local clustering coefficient
+// over all nodes with simple degree >= 2 (the Watts–Strogatz average,
+// restricted to nodes where the coefficient is defined). It returns 0 if
+// no such node exists.
+func (g *Graph) MeanLocalClustering() float64 {
+	adj := g.adjacency()
+	var sum float64
+	var n int
+	for u := range adj {
+		if len(adj[u]) < 2 {
+			continue
+		}
+		sum += localFromAdj(adj, int32(u))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SampledMeanLocalClustering estimates MeanLocalClustering from a uniform
+// sample of eligible nodes — the scalable path for large graphs. samples
+// must be positive; sampling more nodes than exist degrades to the exact
+// mean.
+func (g *Graph) SampledMeanLocalClustering(samples int, rng *xrand.RNG) (float64, error) {
+	if samples <= 0 {
+		return 0, errors.New("graph: samples must be positive")
+	}
+	adj := g.adjacency()
+	eligible := make([]int32, 0, g.n)
+	for u := range adj {
+		if len(adj[u]) >= 2 {
+			eligible = append(eligible, int32(u))
+		}
+	}
+	if len(eligible) == 0 {
+		return 0, nil
+	}
+	if samples >= len(eligible) {
+		var sum float64
+		for _, u := range eligible {
+			sum += localFromAdj(adj, u)
+		}
+		return sum / float64(len(eligible)), nil
+	}
+	var sum float64
+	for i := 0; i < samples; i++ {
+		u := eligible[rng.Intn(len(eligible))]
+		sum += localFromAdj(adj, u)
+	}
+	return sum / float64(samples), nil
+}

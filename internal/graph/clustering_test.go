@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"hybridplaw/internal/xrand"
+)
+
+func TestGlobalClusteringTriangle(t *testing.T) {
+	g, _ := New(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(2, 0)
+	if got := g.GlobalClustering(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("triangle transitivity = %v, want 1", got)
+	}
+}
+
+func TestGlobalClusteringPath(t *testing.T) {
+	g, _ := New(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	if got := g.GlobalClustering(); got != 0 {
+		t.Errorf("path transitivity = %v, want 0", got)
+	}
+}
+
+func TestGlobalClusteringTriangleWithPendant(t *testing.T) {
+	// Triangle {0,1,2} + pendant 3 attached to 0.
+	// Triples: node0 has simple degree 3 -> 3 triples; nodes 1,2 -> 1 each.
+	// Total 5 triples, 3 triangle corners -> transitivity 3/5.
+	g, _ := New(4)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(2, 0)
+	_ = g.AddEdge(0, 3)
+	if got := g.GlobalClustering(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("transitivity = %v, want 0.6", got)
+	}
+}
+
+func TestClusteringIgnoresMultiEdgesAndLoops(t *testing.T) {
+	g, _ := New(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(0, 1) // duplicate
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(2, 0)
+	_ = g.AddEdge(2, 2) // self loop
+	if got := g.GlobalClustering(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("transitivity with multi-edges = %v, want 1", got)
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	// Square with one diagonal: 0-1-2-3-0 plus 0-2.
+	g, _ := New(4)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(2, 3)
+	_ = g.AddEdge(3, 0)
+	_ = g.AddEdge(0, 2)
+	cases := []struct {
+		u    int32
+		want float64
+	}{
+		{0, 1.0 / 3}, // neighbours {1,2,3}: edges 1-2, 2-3 -> 2/3 pairs... check: pairs (1,2)+,(1,3)-,(2,3)+ = 2/3
+		{1, 1},       // neighbours {0,2}: edge 0-2 exists
+		{3, 1},       // neighbours {0,2}: edge 0-2 exists
+	}
+	// Correct expectation for node 0: neighbours {1,2,3}; edges among them:
+	// (1,2) yes, (2,3) yes, (1,3) no -> 2/3.
+	cases[0].want = 2.0 / 3
+	for _, c := range cases {
+		got, err := g.LocalClustering(c.u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("C(%d) = %v, want %v", c.u, got, c.want)
+		}
+	}
+	if _, err := g.LocalClustering(9); err == nil {
+		t.Error("out of range: expected error")
+	}
+}
+
+func TestLocalClusteringDegreeOne(t *testing.T) {
+	g, _ := New(2)
+	_ = g.AddEdge(0, 1)
+	got, err := g.LocalClustering(0)
+	if err != nil || got != 0 {
+		t.Errorf("degree-1 local clustering = %v, %v", got, err)
+	}
+}
+
+func TestMeanLocalClusteringCompleteGraph(t *testing.T) {
+	g, _ := New(5)
+	for i := int32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			_ = g.AddEdge(i, j)
+		}
+	}
+	if got := g.MeanLocalClustering(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K5 mean local clustering = %v", got)
+	}
+	if got := g.GlobalClustering(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K5 transitivity = %v", got)
+	}
+}
+
+func TestMeanLocalClusteringEmpty(t *testing.T) {
+	g, _ := New(4)
+	if got := g.MeanLocalClustering(); got != 0 {
+		t.Errorf("edgeless mean clustering = %v", got)
+	}
+	if got := g.GlobalClustering(); got != 0 {
+		t.Errorf("edgeless transitivity = %v", got)
+	}
+}
+
+func TestSampledMeanLocalClustering(t *testing.T) {
+	r := xrand.New(42)
+	g, err := BarabasiAlbert(3000, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := g.MeanLocalClustering()
+	sampled, err := g.SampledMeanLocalClustering(1500, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sampled-exact) > 0.05+0.3*exact {
+		t.Errorf("sampled %v vs exact %v", sampled, exact)
+	}
+	// Oversampling degrades to the exact mean.
+	all, err := g.SampledMeanLocalClustering(1<<20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(all-exact) > 1e-12 {
+		t.Errorf("oversampled %v vs exact %v", all, exact)
+	}
+	if _, err := g.SampledMeanLocalClustering(0, r); err == nil {
+		t.Error("samples=0: expected error")
+	}
+}
+
+func TestSampledClusteringNoEligible(t *testing.T) {
+	g, _ := New(3)
+	_ = g.AddEdge(0, 1)
+	r := xrand.New(1)
+	got, err := g.SampledMeanLocalClustering(10, r)
+	if err != nil || got != 0 {
+		t.Errorf("no eligible nodes: %v, %v", got, err)
+	}
+}
+
+func BenchmarkGlobalClustering(b *testing.B) {
+	r := xrand.New(1)
+	g, err := BarabasiAlbert(5000, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.GlobalClustering()
+	}
+}

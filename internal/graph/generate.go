@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"errors"
+
+	"hybridplaw/internal/xrand"
+)
+
+// ConfigurationModel builds a multigraph realizing the given degree
+// sequence by uniform stub matching. If the degree sum is odd, one stub is
+// dropped from a maximal-degree node (the usual convention; the PALU
+// generator draws i.i.d. zeta degrees, so parity is random).
+//
+// The result may contain self-loops and multi-edges; for power-law degree
+// sequences their expected number is o(edges) and the PALU analysis
+// tolerates them (degree bookkeeping stays exact).
+func ConfigurationModel(degrees []int64, rng *xrand.RNG) (*Graph, error) {
+	g, err := New(len(degrees))
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	maxIdx := -1
+	for i, d := range degrees {
+		if d < 0 {
+			return nil, errors.New("graph: negative degree in sequence")
+		}
+		total += d
+		if maxIdx < 0 || d > degrees[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if total == 0 {
+		return g, nil
+	}
+	drop := int64(0)
+	if total%2 == 1 {
+		drop = 1 // drop one stub from the max-degree node
+	}
+	stubs := make([]int32, 0, total-drop)
+	for i, d := range degrees {
+		dd := d
+		if drop == 1 && i == maxIdx {
+			dd--
+			drop = 0
+		}
+		for k := int64(0); k < dd; k++ {
+			stubs = append(stubs, int32(i))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i+1 < len(stubs); i += 2 {
+		if err := g.AddEdge(stubs[i], stubs[i+1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// BarabasiAlbert generates a preferential-attachment graph with n nodes
+// where each new node attaches m edges to existing nodes chosen with
+// probability proportional to degree (the foundational PA model the paper
+// extends; its degree distribution has power-law tail exponent 3).
+//
+// Attachment uses the standard repeated-endpoint trick: sampling a uniform
+// endpoint of a uniform existing edge is degree-proportional sampling.
+func BarabasiAlbert(n, m int, rng *xrand.RNG) (*Graph, error) {
+	if n <= 0 || m <= 0 {
+		return nil, errors.New("graph: BA requires n > 0 and m > 0")
+	}
+	if m >= n {
+		return nil, errors.New("graph: BA requires m < n")
+	}
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	// endpoints holds every edge endpoint once; uniform draws from it are
+	// degree-proportional.
+	endpoints := make([]int32, 0, 2*m*(n-m))
+	// Seed: a star on the first m+1 nodes so every seed node has degree>=1.
+	for i := 1; i <= m; i++ {
+		if err := g.AddEdge(0, int32(i)); err != nil {
+			return nil, err
+		}
+		endpoints = append(endpoints, 0, int32(i))
+	}
+	targets := make(map[int32]struct{}, m)
+	for v := m + 1; v < n; v++ {
+		for k := range targets {
+			delete(targets, k)
+		}
+		// Choose m distinct degree-proportional targets.
+		for len(targets) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			targets[t] = struct{}{}
+		}
+		for t := range targets {
+			if err := g.AddEdge(int32(v), t); err != nil {
+				return nil, err
+			}
+			endpoints = append(endpoints, int32(v), t)
+		}
+	}
+	return g, nil
+}
+
+// ZetaDegreeSequence draws n i.i.d. degrees from the zeta(alpha)
+// distribution, optionally capped at maxD (0 means uncapped). This is the
+// PALU core's prescribed degree law d^{-alpha}/zeta(alpha).
+func ZetaDegreeSequence(n int, alpha float64, maxD int, rng *xrand.RNG) ([]int64, error) {
+	if n < 0 {
+		return nil, errors.New("graph: negative sequence length")
+	}
+	out := make([]int64, n)
+	for i := range out {
+		var d int
+		var err error
+		if maxD > 0 {
+			d, err = rng.ZetaCapped(alpha, maxD)
+		} else {
+			d, err = rng.Zeta(alpha)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int64(d)
+	}
+	return out, nil
+}

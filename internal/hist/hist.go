@@ -1,0 +1,275 @@
+// Package hist implements the degree-histogram machinery of Section II:
+// histograms n(d) of a network quantity d, probabilities p(d), cumulative
+// probabilities P(d), and the binary logarithmically pooled differential
+// cumulative probabilities
+//
+//	D(di) = P(di) − P(di−1),  di = 2^i
+//
+// together with the cross-window mean D(di) and standard deviation σ(di)
+// used for the ±1σ error bars of Fig. 3.
+package hist
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"hybridplaw/internal/stats"
+)
+
+// ErrEmpty indicates a histogram with no observations.
+var ErrEmpty = errors.New("hist: empty histogram")
+
+// Histogram is a degree histogram n(d): Counts[d] observations of degree d
+// for d >= 1. Degree 0 is excluded by construction (invisible nodes cannot
+// be observed in traffic, Section V).
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// New returns an empty histogram.
+func New() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// FromCounts builds a histogram from a degree → count map. Non-positive
+// degrees or negative counts are rejected.
+func FromCounts(counts map[int]int64) (*Histogram, error) {
+	h := New()
+	for d, c := range counts {
+		if err := h.AddN(d, c); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// FromValues tallies a slice of observed degrees.
+func FromValues(values []int64) (*Histogram, error) {
+	h := New()
+	for _, v := range values {
+		if err := h.AddN(int(v), 1); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Add records one observation of degree d.
+func (h *Histogram) Add(d int) error { return h.AddN(d, 1) }
+
+// AddN records c observations of degree d. c may be zero (no-op).
+func (h *Histogram) AddN(d int, c int64) error {
+	if d < 1 {
+		return errors.New("hist: degree must be >= 1")
+	}
+	if c < 0 {
+		return errors.New("hist: negative count")
+	}
+	if c == 0 {
+		return nil
+	}
+	h.counts[d] += c
+	h.total += c
+	return nil
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for d, c := range other.counts {
+		h.counts[d] += c
+		h.total += c
+	}
+}
+
+// Total returns the number of observations Σd n(d).
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns n(d).
+func (h *Histogram) Count(d int) int64 { return h.counts[d] }
+
+// MaxDegree returns dmax = argmax(n(d) > 0), the paper's Eq. (1) supernode
+// size measure, or 0 for an empty histogram.
+func (h *Histogram) MaxDegree() int {
+	maxD := 0
+	for d := range h.counts {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// Support returns the sorted degrees with nonzero counts.
+func (h *Histogram) Support() []int {
+	ds := make([]int, 0, len(h.counts))
+	for d := range h.counts {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// Probability returns p(d) = n(d)/Σ n(d).
+func (h *Histogram) Probability(d int) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	return float64(h.counts[d]) / float64(h.total)
+}
+
+// Probabilities returns the (degree, p(d)) pairs over the support, sorted
+// by degree.
+func (h *Histogram) Probabilities() (degrees []int, probs []float64) {
+	degrees = h.Support()
+	probs = make([]float64, len(degrees))
+	for i, d := range degrees {
+		probs[i] = h.Probability(d)
+	}
+	return degrees, probs
+}
+
+// CumulativeAt returns P(d) = Σ_{i<=d} p(i).
+func (h *Histogram) CumulativeAt(d int) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	var cum int64
+	for deg, c := range h.counts {
+		if deg <= d {
+			cum += c
+		}
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// FractionDegreeOne returns D(d=1) = p(1), the fraction of nodes with only
+// one connection, highlighted by the paper as the leaf/unattached signal.
+func (h *Histogram) FractionDegreeOne() float64 { return h.Probability(1) }
+
+// Pooled is a binary-logarithmically pooled differential cumulative
+// distribution: Bin i covers degrees (2^{i-1}, 2^i] for i >= 1 and bin 0 is
+// exactly degree 1, so that D(d0)=p(1) and D(di)=P(2^i)−P(2^{i-1}).
+type Pooled struct {
+	// D[i] is the pooled differential cumulative probability of bin i.
+	D []float64
+	// Total is the observation count behind the pooling.
+	Total int64
+}
+
+// NumBins returns the number of pooled bins.
+func (p *Pooled) NumBins() int { return len(p.D) }
+
+// BinUpper returns the inclusive upper degree edge of bin i: 2^i.
+func BinUpper(i int) int { return 1 << uint(i) }
+
+// BinLower returns the exclusive lower degree edge of bin i (0 for bin 0).
+func BinLower(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// BinIndex returns the pooled bin index of degree d: ceil(log2(d)).
+func BinIndex(d int) int {
+	if d <= 1 {
+		return 0
+	}
+	return bitsLen(uint(d - 1))
+}
+
+func bitsLen(x uint) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Pool converts the histogram to the pooled differential cumulative form.
+func (h *Histogram) Pool() (*Pooled, error) {
+	if h.total == 0 {
+		return nil, ErrEmpty
+	}
+	nbins := BinIndex(h.MaxDegree()) + 1
+	d := make([]float64, nbins)
+	for deg, c := range h.counts {
+		d[BinIndex(deg)] += float64(c) / float64(h.total)
+	}
+	return &Pooled{D: d, Total: h.total}, nil
+}
+
+// Mass returns Σi D(di); always 1 within rounding for a valid pooling.
+func (p *Pooled) Mass() float64 {
+	var s float64
+	for _, v := range p.D {
+		s += v
+	}
+	return s
+}
+
+// Ensemble accumulates pooled distributions across consecutive windows t
+// and reports the per-bin mean D(di) and standard deviation σ(di)
+// (Section II.A: "the corresponding mean and standard deviation of Dt(di)
+// over many different consecutive values of t").
+type Ensemble struct {
+	accs []stats.Welford
+}
+
+// NewEnsemble returns an empty cross-window accumulator.
+func NewEnsemble() *Ensemble { return &Ensemble{} }
+
+// Add folds one window's pooled distribution into the ensemble. Windows may
+// have different bin counts; shorter windows implicitly contribute zeros to
+// the higher bins.
+func (e *Ensemble) Add(p *Pooled) {
+	if len(p.D) > len(e.accs) {
+		grown := make([]stats.Welford, len(p.D))
+		copy(grown, e.accs)
+		// Back-fill zeros for bins that earlier windows implicitly had.
+		for i := len(e.accs); i < len(grown); i++ {
+			for k := 0; k < e.windows(); k++ {
+				grown[i].Add(0)
+			}
+		}
+		e.accs = grown
+	}
+	for i := range e.accs {
+		v := 0.0
+		if i < len(p.D) {
+			v = p.D[i]
+		}
+		e.accs[i].Add(v)
+	}
+}
+
+func (e *Ensemble) windows() int {
+	if len(e.accs) == 0 {
+		return 0
+	}
+	return e.accs[0].N()
+}
+
+// Windows returns the number of pooled windows accumulated.
+func (e *Ensemble) Windows() int { return e.windows() }
+
+// Mean returns the per-bin mean D(di).
+func (e *Ensemble) Mean() []float64 {
+	out := make([]float64, len(e.accs))
+	for i := range e.accs {
+		out[i] = e.accs[i].Mean()
+	}
+	return out
+}
+
+// Sigma returns the per-bin sample standard deviation σ(di).
+func (e *Ensemble) Sigma() []float64 {
+	out := make([]float64, len(e.accs))
+	for i := range e.accs {
+		out[i] = e.accs[i].StdDev()
+	}
+	return out
+}

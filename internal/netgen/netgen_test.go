@@ -1,0 +1,228 @@
+package netgen
+
+import (
+	"math"
+	"testing"
+
+	"hybridplaw/internal/palu"
+	"hybridplaw/internal/stream"
+	"hybridplaw/internal/xrand"
+	"hybridplaw/internal/zipfmand"
+)
+
+func testConfig() SiteConfig {
+	params, err := palu.FromWeights(2, 2, 1, 2, 2.0)
+	if err != nil {
+		panic(err)
+	}
+	return SiteConfig{
+		Name: "test", Params: params, Nodes: 20000, P: 0.5,
+		WeightAlpha: 2.2, WeightDelta: 0, MaxWeight: 512,
+		InvalidFraction: 0.05, Seed: 42,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*SiteConfig){
+		func(c *SiteConfig) { c.Nodes = 0 },
+		func(c *SiteConfig) { c.P = 0 },
+		func(c *SiteConfig) { c.P = 1.5 },
+		func(c *SiteConfig) { c.MaxWeight = 0 },
+		func(c *SiteConfig) { c.InvalidFraction = -0.1 },
+		func(c *SiteConfig) { c.InvalidFraction = 1 },
+		func(c *SiteConfig) { c.WeightAlpha = 0 },
+		func(c *SiteConfig) { c.WeightDelta = -2 },
+		func(c *SiteConfig) { c.Params = palu.Params{C: 9, Alpha: 2} },
+	}
+	for i, mut := range mutations {
+		c := testConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestNewSiteDeterministic(t *testing.T) {
+	a, err := NewSite(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSite(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := a.ObservationPass(xrand.New(7))
+	pb := b.ObservationPass(xrand.New(7))
+	if len(pa) != len(pb) {
+		t.Fatalf("same seed, different pass sizes: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed produced different packet streams")
+		}
+	}
+}
+
+func TestObservationPassProperties(t *testing.T) {
+	s, err := NewSite(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := s.ObservationPass(xrand.New(3))
+	if len(pass) == 0 {
+		t.Fatal("empty observation pass")
+	}
+	var invalid, valid int
+	for _, p := range pass {
+		if p.Valid {
+			valid++
+		} else {
+			invalid++
+		}
+	}
+	frac := float64(invalid) / float64(valid+invalid)
+	if math.Abs(frac-0.05) > 0.02 {
+		t.Errorf("invalid fraction = %v, want ~0.05", frac)
+	}
+	// Expected valid packets ≈ E[w]·p·|edges|.
+	wm := zipfmand.Model{Alpha: 2.2, Delta: 0}
+	pmf, err := wm.PMF(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ew float64
+	for d, p := range pmf {
+		ew += float64(d+1) * p
+	}
+	want := ew * 0.5 * float64(s.Underlying().G.NumEdges())
+	if math.Abs(float64(valid)-want) > 0.15*want {
+		t.Errorf("valid packets = %d, want ~%v", valid, want)
+	}
+}
+
+func TestGenerateWindows(t *testing.T) {
+	s, err := NewSite(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := s.GenerateWindows(3, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 3 {
+		t.Fatalf("windows = %d", len(wins))
+	}
+	for i, w := range wins {
+		if w.NV != 5000 {
+			t.Errorf("window %d NV = %d", i, w.NV)
+		}
+		if w.Matrix.ValidPackets() != 5000 {
+			t.Errorf("window %d matrix packets = %d", i, w.Matrix.ValidPackets())
+		}
+	}
+	if _, err := s.GenerateWindows(0, 100); err == nil {
+		t.Error("numWindows=0: expected error")
+	}
+	if _, err := s.GenerateWindows(1, 0); err == nil {
+		t.Error("nv=0: expected error")
+	}
+}
+
+func TestWindowDistributionHasLeafExcess(t *testing.T) {
+	// The synthetic observatory must reproduce the paper's qualitative
+	// signature: D(d=1) is the largest pooled bin for fan-out.
+	s, err := NewSite(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := s.GenerateWindows(2, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := stream.QuantityHistogram(wins[0], stream.SourceFanOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := h.Pool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p.D); i++ {
+		if p.D[i] > p.D[0] {
+			t.Fatalf("bin %d (%v) exceeds D(1)=%v", i, p.D[i], p.D[0])
+		}
+	}
+}
+
+func TestFigure3PanelsWellFormed(t *testing.T) {
+	panels := Figure3Panels()
+	if len(panels) != 6 {
+		t.Fatalf("panels = %d, want 6", len(panels))
+	}
+	seen := map[string]bool{}
+	for _, p := range panels {
+		if seen[p.ID] {
+			t.Errorf("duplicate panel id %q", p.ID)
+		}
+		seen[p.ID] = true
+		if err := p.Site.Validate(); err != nil {
+			t.Errorf("panel %s: %v", p.ID, err)
+		}
+		if p.NV <= 0 || p.Windows <= 0 {
+			t.Errorf("panel %s: bad NV/windows", p.ID)
+		}
+		if p.PaperAlpha < 1.5 || p.PaperAlpha > 3 {
+			t.Errorf("panel %s: paper alpha %v outside the paper's range", p.ID, p.PaperAlpha)
+		}
+		if p.PaperDelta <= -1 {
+			t.Errorf("panel %s: paper delta %v invalid", p.ID, p.PaperDelta)
+		}
+	}
+}
+
+func TestLinkPacketsPanelMatchesWeightModel(t *testing.T) {
+	// For the link-packets quantity, the observed distribution is the
+	// weight law itself, so the ZM fit must recover the configured
+	// (WeightAlpha, WeightDelta) closely. This is the calibration anchor
+	// for the Fig. 3 reproduction.
+	panel := Figure3Panels()[2] // chicagoA link packets
+	site, err := NewSite(panel.Site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := site.GenerateWindows(2, panel.NV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := stream.QuantityHistogram(wins[0], stream.LinkPackets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, _, err := zipfmand.FitHistogram(h, zipfmand.DefaultFitOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-panel.Site.WeightAlpha) > 0.15 {
+		t.Errorf("link packets alpha = %v, configured %v", fit.Alpha, panel.Site.WeightAlpha)
+	}
+	if math.Abs(fit.Delta-panel.Site.WeightDelta) > 0.35 {
+		t.Errorf("link packets delta = %v, configured %v", fit.Delta, panel.Site.WeightDelta)
+	}
+}
+
+func BenchmarkObservationPass(b *testing.B) {
+	s, err := NewSite(testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ObservationPass(r)
+	}
+}

@@ -1,0 +1,148 @@
+package palu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/specialfn"
+)
+
+// Curve is the one-parameter PALU degree law of Section VI, Eq. (5):
+//
+//	PALU(d) ∝ d^{−α} + r^{(1−d)} ((1+δ)^{−α} − 1)
+//
+// obtained from the reduced degree law c·d^{−α} + u·(Λ/d)^d by the
+// geometric approximation (Λ/d)^d ≈ r^{(1−d)} and by aligning u/c with the
+// Zipf–Mandelbrot parameters via u/c = (1+δ)^{−α} − 1.
+type Curve struct {
+	// Alpha and Delta are the Zipf–Mandelbrot parameters being matched.
+	Alpha, Delta float64
+	// R is the geometric decay base (r > 1 for decaying star terms).
+	R float64
+}
+
+// Validate checks the curve parameter domain.
+func (c Curve) Validate() error {
+	switch {
+	case math.IsNaN(c.Alpha) || math.IsNaN(c.Delta) || math.IsNaN(c.R):
+		return errors.New("palu: NaN curve parameter")
+	case c.Alpha <= 0:
+		return fmt.Errorf("palu: curve alpha %v must be positive", c.Alpha)
+	case c.Delta <= -1:
+		return fmt.Errorf("palu: curve delta %v must exceed -1", c.Delta)
+	case c.R <= 1:
+		return fmt.Errorf("palu: curve r %v must exceed 1", c.R)
+	}
+	return nil
+}
+
+// UOverC returns u/c = (1+δ)^{−α} − 1, the Section VI bridge constant.
+func (c Curve) UOverC() float64 {
+	return math.Pow(1+c.Delta, -c.Alpha) - 1
+}
+
+// Eval returns the unnormalized PALU(d) of Eq. (5).
+func (c Curve) Eval(d int) float64 {
+	return math.Pow(float64(d), -c.Alpha) + math.Pow(c.R, float64(1-d))*c.UOverC()
+}
+
+// PMF returns the normalized PALU(d) probabilities for d = 1..dmax.
+func (c Curve) PMF(dmax int) ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if dmax < 1 {
+		return nil, errors.New("palu: dmax must be >= 1")
+	}
+	out := make([]float64, dmax)
+	var z float64
+	for d := 1; d <= dmax; d++ {
+		v := c.Eval(d)
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("palu: PALU(%d) = %v not a density (delta %v gives negative star weight)", d, v, c.Delta)
+		}
+		out[d-1] = v
+		z += v
+	}
+	for i := range out {
+		out[i] /= z
+	}
+	return out, nil
+}
+
+// PooledD returns the binary-log pooled differential cumulative
+// probabilities of the normalized curve over 1..dmax, the quantity plotted
+// in Fig. 4.
+func (c Curve) PooledD(dmax int) ([]float64, error) {
+	pmf, err := c.PMF(dmax)
+	if err != nil {
+		return nil, err
+	}
+	nbins := hist.BinIndex(dmax) + 1
+	out := make([]float64, nbins)
+	for d := 1; d <= dmax; d++ {
+		out[hist.BinIndex(d)] += pmf[d-1]
+	}
+	return out, nil
+}
+
+// DeltaFromObservation inverts the Section VI parameter bridge
+//
+//	(1+δ)^{−α} = (U/C) e^{−λp} ζ(α) p^{−α} + 1
+//
+// returning the Zipf–Mandelbrot offset δ implied by an observation of the
+// full PALU model. C must be positive (a coreless network has no
+// power-law term to align with).
+func DeltaFromObservation(o Observation) (float64, error) {
+	if o.Params.C <= 0 {
+		return 0, errors.New("palu: delta bridge requires C > 0")
+	}
+	if o.P <= 0 {
+		return 0, errors.New("palu: delta bridge requires p > 0")
+	}
+	z := specialfn.MustZeta(o.Alpha)
+	rhs := (o.Params.U/o.Params.C)*math.Exp(-o.Mu())*z*math.Pow(o.P, -o.Alpha) + 1
+	// (1+δ)^{−α} = rhs  →  δ = rhs^{−1/α} − 1.
+	return math.Pow(rhs, -1/o.Alpha) - 1, nil
+}
+
+// UOverCFromObservation returns u/c = (U/C) e^{−λp} ζ(α) / p^α for the
+// observation, the left side of the Section VI bridge.
+func UOverCFromObservation(o Observation) (float64, error) {
+	if o.Params.C <= 0 {
+		return 0, errors.New("palu: u/c requires C > 0")
+	}
+	if o.P <= 0 {
+		return 0, errors.New("palu: u/c requires p > 0")
+	}
+	z := specialfn.MustZeta(o.Alpha)
+	return (o.Params.U / o.Params.C) * math.Exp(-o.Mu()) * z * math.Pow(o.P, -o.Alpha), nil
+}
+
+// GeometricRFromMu returns the r that makes the geometric tail r^{(1−d)}
+// match the Poisson form (Λ/d)^d at a reference degree dref (erratum E2:
+// Λ = e·μ). It gives a principled default for the free parameter r when
+// rendering Eq. (5) against a concrete observation.
+func GeometricRFromMu(mu float64, dref int) (float64, error) {
+	if mu <= 0 {
+		return 0, errors.New("palu: geometric r requires mu > 0")
+	}
+	if dref < 2 {
+		return 0, errors.New("palu: reference degree must be >= 2")
+	}
+	// Solve r^{1-dref} = Po-form(dref)/Po-form(1), i.e. match the decay
+	// between d=1 and d=dref of the Poisson pmf ratio.
+	p1 := specialfn.PoissonPMF(1, mu)
+	pd := specialfn.PoissonPMF(dref, mu)
+	if p1 <= 0 || pd <= 0 {
+		return 0, errors.New("palu: degenerate Poisson mass for geometric match")
+	}
+	ratio := pd / p1
+	r := math.Pow(ratio, 1/float64(1-dref))
+	if r <= 1 {
+		return 0, fmt.Errorf("palu: matched r=%v <= 1 (mu too large for geometric tail)", r)
+	}
+	return r, nil
+}

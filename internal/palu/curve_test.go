@@ -1,0 +1,244 @@
+package palu
+
+import (
+	"math"
+	"testing"
+
+	"hybridplaw/internal/zipfmand"
+)
+
+func TestCurveValidate(t *testing.T) {
+	good := []Curve{{2, -0.5, 1.2}, {1.1, -0.9, 5}, {2.9, -0.8, 200}}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", c, err)
+		}
+	}
+	bad := []Curve{{0, -0.5, 2}, {2, -1, 2}, {2, -0.5, 1}, {2, -0.5, 0.5},
+		{math.NaN(), 0, 2}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v): expected error", c)
+		}
+	}
+}
+
+func TestUOverCBridge(t *testing.T) {
+	// u/c = (1+δ)^{−α} − 1 must be positive for δ<0 and zero at δ=0.
+	if got := (Curve{Alpha: 2, Delta: 0, R: 2}).UOverC(); math.Abs(got) > 1e-15 {
+		t.Errorf("UOverC(delta=0) = %v", got)
+	}
+	c := Curve{Alpha: 2, Delta: -0.5, R: 2}
+	want := math.Pow(0.5, -2) - 1 // = 3
+	if got := c.UOverC(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("UOverC = %v want %v", got, want)
+	}
+}
+
+func TestCurveMatchesZMAtDegreeOne(t *testing.T) {
+	// Unnormalized PALU(1) = 1 + u/c = (1+δ)^{−α} = ZM(1) for every r.
+	for _, delta := range []float64{-0.8, -0.5, -0.2, 0.3} {
+		for _, r := range []float64{1.01, 1.5, 5, 50} {
+			c := Curve{Alpha: 2.2, Delta: delta, R: r}
+			zm := zipfmand.Model{Alpha: 2.2, Delta: delta}
+			if math.Abs(c.Eval(1)-zm.Rho(1)) > 1e-12 {
+				t.Errorf("delta=%v r=%v: PALU(1)=%v ZM(1)=%v", delta, r, c.Eval(1), zm.Rho(1))
+			}
+		}
+	}
+}
+
+func TestCurveTailIsPowerLaw(t *testing.T) {
+	// For large d the geometric term vanishes: PALU(d) → d^{−α}.
+	c := Curve{Alpha: 2.5, Delta: -0.75, R: 1.8}
+	for _, d := range []int{100, 1000, 10000} {
+		want := math.Pow(float64(d), -c.Alpha)
+		got := c.Eval(d)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("d=%d: PALU=%v power=%v", d, got, want)
+		}
+	}
+}
+
+func TestCurvePMFNormalized(t *testing.T) {
+	c := Curve{Alpha: 2, Delta: -0.75, R: 1.8}
+	pmf, err := c.PMF(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pmf {
+		if p < 0 {
+			t.Fatal("negative pmf value")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pmf sums to %v", sum)
+	}
+}
+
+func TestCurvePMFErrors(t *testing.T) {
+	if _, err := (Curve{Alpha: 2, Delta: -0.5, R: 0.5}).PMF(100); err == nil {
+		t.Error("invalid r: expected error")
+	}
+	if _, err := (Curve{Alpha: 2, Delta: -0.5, R: 2}).PMF(0); err == nil {
+		t.Error("dmax=0: expected error")
+	}
+	// delta > 0 makes u/c negative; PALU(d) can go negative for small r.
+	if _, err := (Curve{Alpha: 2, Delta: 0.9, R: 1.01}).PMF(1000); err == nil {
+		t.Error("negative density: expected error")
+	}
+}
+
+func TestCurvePooledMass(t *testing.T) {
+	c := Curve{Alpha: 2.9, Delta: -0.8, R: 5}
+	pd, err := c.PooledD(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mass float64
+	for _, v := range pd {
+		mass += v
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Errorf("pooled mass = %v", mass)
+	}
+}
+
+func TestFigure4FamiliesApproachZM(t *testing.T) {
+	// E-F4 shape check: for each Fig. 4 panel, some r in the printed
+	// family brings the pooled PALU curve within a modest log distance of
+	// the pooled ZM curve ("the PALU model can be made to fit a
+	// Zipf-Mandlebrot distribution ... by varying r").
+	panels := []struct {
+		alpha, delta float64
+		rs           []float64
+	}{
+		{1.1, -0.5, []float64{1.01, 1.1, 1.2, 1.4, 1.8, 2, 3, 5}},
+		{1.5, -0.6, []float64{1.01, 1.1, 1.2, 1.5, 2, 4, 11}},
+		{2.0, -0.75, []float64{1.05, 1.2, 1.8, 3, 6, 12, 35}},
+		{2.5, -0.75, []float64{1.01, 1.05, 1.2, 1.8, 5, 20, 70}},
+		{2.9, -0.8, []float64{1.01, 1.05, 1.2, 1.8, 5, 30, 200}},
+	}
+	const dmax = 1 << 16
+	for _, panel := range panels {
+		zm := zipfmand.Model{Alpha: panel.alpha, Delta: panel.delta}
+		zmD, err := zm.PooledD(dmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for _, r := range panel.rs {
+			c := Curve{Alpha: panel.alpha, Delta: panel.delta, R: r}
+			pd, err := c.PooledD(dmax)
+			if err != nil {
+				t.Fatalf("panel α=%v r=%v: %v", panel.alpha, r, err)
+			}
+			var worst float64
+			for i := range pd {
+				if zmD[i] <= 0 || pd[i] <= 0 {
+					continue
+				}
+				diff := math.Abs(math.Log10(pd[i]) - math.Log10(zmD[i]))
+				if diff > worst {
+					worst = diff
+				}
+			}
+			if worst < best {
+				best = worst
+			}
+		}
+		// Within half a decade across all bins for the best family member.
+		if best > 0.5 {
+			t.Errorf("panel α=%v δ=%v: best sup log10 distance %v", panel.alpha, panel.delta, best)
+		}
+	}
+}
+
+func TestDeltaFromObservationRoundTrip(t *testing.T) {
+	// (1+δ)^{−α} − 1 must equal u/c for the same observation.
+	params, err := FromWeights(2, 1, 1, 3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewObservation(params, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := DeltaFromObservation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, err := UOverCFromObservation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := math.Pow(1+delta, -o.Alpha) - 1
+	if math.Abs(lhs-uc) > 1e-10*(1+uc) {
+		t.Errorf("bridge mismatch: (1+δ)^{−α}−1 = %v, u/c = %v", lhs, uc)
+	}
+	// More stars (larger U) must push delta more negative (heavier d=1).
+	params2, err := FromWeights(2, 1, 3, 3, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := NewObservation(params2, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta2, err := DeltaFromObservation(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta2 >= delta {
+		t.Errorf("delta should decrease with U: %v -> %v", delta, delta2)
+	}
+}
+
+func TestDeltaFromObservationErrors(t *testing.T) {
+	params, _ := FromWeights(0, 1, 1, 2, 2)
+	o, _ := NewObservation(params, 0.5)
+	if _, err := DeltaFromObservation(o); err == nil {
+		t.Error("C=0: expected error")
+	}
+	if _, err := UOverCFromObservation(o); err == nil {
+		t.Error("C=0: expected error")
+	}
+	params2, _ := FromWeights(1, 1, 1, 2, 2)
+	o2, _ := NewObservation(params2, 0)
+	if _, err := DeltaFromObservation(o2); err == nil {
+		t.Error("p=0: expected error")
+	}
+}
+
+func TestGeometricRFromMu(t *testing.T) {
+	r, err := GeometricRFromMu(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 1 {
+		t.Errorf("r = %v", r)
+	}
+	// The matched geometric reproduces the Poisson decay at dref exactly.
+	if _, err := GeometricRFromMu(0, 4); err == nil {
+		t.Error("mu=0: expected error")
+	}
+	if _, err := GeometricRFromMu(1, 1); err == nil {
+		t.Error("dref<2: expected error")
+	}
+	// Large mu: Poisson increases before decaying; matched r can dip <= 1.
+	if _, err := GeometricRFromMu(15, 2); err == nil {
+		t.Error("large mu with dref 2: expected non-geometric error")
+	}
+}
+
+func BenchmarkCurvePooledD(b *testing.B) {
+	c := Curve{Alpha: 2, Delta: -0.75, R: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PooledD(1 << 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package palu implements the paper's primary contribution: the PALU
+// (Preferential Attachment + Leaves + Unattached links) generative network
+// model of Sections III–VI.
+//
+// The model has two layers. The underlying network — the "true" traffic
+// relation — consists of a preferential-attachment core whose degrees
+// follow d^{-α}/ζ(α), a population of degree-1 leaves adjacent to core
+// nodes, and unattached stars whose central nodes carry Po(λ) leaves. The
+// observed network is an Erdős–Rényi edge sample: every underlying edge is
+// retained independently with probability p (the window-size parameter).
+//
+// The package provides parameter handling with the Section III.A
+// normalization constraint, analytic predictions for the observed network
+// (Section IV), graph-based and fast histogram-based generators
+// (Section V), and the Zipf–Mandelbrot bridge of Section VI (Eq. (5)).
+package palu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hybridplaw/internal/specialfn"
+)
+
+// Parameter domain bounds from Section III.A.
+const (
+	// MinAlpha and MaxAlpha bound the core power-law exponent; the paper
+	// determines α ∈ [1.5, 3] experimentally but the implementation accepts
+	// the slightly wider (1, 5] for exploratory fitting.
+	MinAlpha = 1.0
+	MaxAlpha = 5.0
+	// MaxLambda bounds the unattached-star mean degree (λ ∈ [0, 20]).
+	MaxLambda = 20.0
+)
+
+// constraintTol is the tolerance on the Section III.A normalization
+// constraint C + L + U(1 + λ − e^{−λ}) = 1.
+const constraintTol = 1e-9
+
+// Params are the five underlying-network parameters of the PALU model.
+// They are window-size independent: "for a given network, the parameters
+// λ, C, L, U, and α should be the same regardless of the window size."
+type Params struct {
+	// C is the proportion of nodes in the preferential-attachment core.
+	C float64
+	// L is the proportion of degree-1 leaf nodes attached to the core.
+	L float64
+	// U is the proportion of unattached star centers.
+	U float64
+	// Lambda is the mean number of leaves per unattached star (Po(λ)).
+	Lambda float64
+	// Alpha is the power-law exponent of the core degree distribution.
+	Alpha float64
+}
+
+// StarFactor returns 1 + λ − e^{−λ}, the expected observable nodes per
+// unattached star center (1 center + λ leaves − e^{−λ} isolated centers).
+func (p Params) StarFactor() float64 { return specialfn.Expm1Ratio(p.Lambda) }
+
+// ConstraintResidual returns C + L + U(1 + λ − e^{−λ}) − 1; zero for a
+// valid parameter set.
+func (p Params) ConstraintResidual() float64 {
+	return p.C + p.L + p.U*p.StarFactor() - 1
+}
+
+// Validate checks parameter ranges and the normalization constraint.
+func (p Params) Validate() error {
+	switch {
+	case math.IsNaN(p.C) || math.IsNaN(p.L) || math.IsNaN(p.U) ||
+		math.IsNaN(p.Lambda) || math.IsNaN(p.Alpha):
+		return errors.New("palu: NaN parameter")
+	case p.C < 0 || p.L < 0 || p.U < 0:
+		return fmt.Errorf("palu: proportions must be non-negative (C=%v L=%v U=%v)", p.C, p.L, p.U)
+	case p.Lambda < 0 || p.Lambda > MaxLambda:
+		return fmt.Errorf("palu: lambda %v outside [0, %v]", p.Lambda, MaxLambda)
+	case p.Alpha <= MinAlpha || p.Alpha > MaxAlpha:
+		return fmt.Errorf("palu: alpha %v outside (%v, %v]", p.Alpha, MinAlpha, MaxAlpha)
+	}
+	if r := p.ConstraintResidual(); math.Abs(r) > constraintTol {
+		return fmt.Errorf("palu: constraint C+L+U(1+λ−e^{−λ})=1 violated by %v", r)
+	}
+	return nil
+}
+
+// NewParams validates and returns a parameter set.
+func NewParams(c, l, u, lambda, alpha float64) (Params, error) {
+	p := Params{C: c, L: l, U: u, Lambda: lambda, Alpha: alpha}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// FromWeights builds a valid parameter set from non-negative relative
+// weights (wc, wl, wu) for core, leaves, and star centers: the weights are
+// rescaled so the Section III.A constraint holds exactly. This is the
+// convenient constructor for experiments ("35% core, 40% leaves, the rest
+// stars").
+func FromWeights(wc, wl, wu, lambda, alpha float64) (Params, error) {
+	if wc < 0 || wl < 0 || wu < 0 || math.IsNaN(wc) || math.IsNaN(wl) || math.IsNaN(wu) {
+		return Params{}, errors.New("palu: weights must be non-negative")
+	}
+	if lambda < 0 || lambda > MaxLambda {
+		return Params{}, fmt.Errorf("palu: lambda %v outside [0, %v]", lambda, MaxLambda)
+	}
+	sf := specialfn.Expm1Ratio(lambda)
+	total := wc + wl + wu*sf
+	if total <= 0 {
+		return Params{}, errors.New("palu: at least one weight must be positive")
+	}
+	return NewParams(wc/total, wl/total, wu/total, lambda, alpha)
+}
+
+// String renders the parameters compactly.
+func (p Params) String() string {
+	return fmt.Sprintf("PALU{C=%.4g L=%.4g U=%.4g λ=%.4g α=%.4g}", p.C, p.L, p.U, p.Lambda, p.Alpha)
+}

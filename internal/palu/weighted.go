@@ -1,0 +1,181 @@
+package palu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/xrand"
+	"hybridplaw/internal/zipfmand"
+)
+
+// Weighted PALU is the paper's first-named extension ("The PALU model
+// research can also extend to the case of weighted edges where potential
+// weights could be the number of packets or number of bytes sent along a
+// link", Section VII). Each observed edge carries a heavy-tailed weight
+// w >= 1 (packets on the link); a node's *packet degree* is the sum of the
+// weights of its incident observed edges. The weighted observed network
+// therefore predicts the "source packets" / "destination packets" /
+// "link packets" quantities of Fig. 1, not just the fan-out/fan-in ones.
+
+// WeightModel parameterizes the per-link packet multiplicity law as a
+// modified Zipf–Mandelbrot distribution over 1..MaxWeight.
+type WeightModel struct {
+	// Alpha and Delta are the modified Zipf–Mandelbrot weight parameters.
+	Alpha, Delta float64
+	// MaxWeight truncates the weight support (dmax of the weight law).
+	MaxWeight int
+}
+
+// Validate checks the weight-model domain.
+func (w WeightModel) Validate() error {
+	m := zipfmand.Model{Alpha: w.Alpha, Delta: w.Delta}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if w.MaxWeight < 1 {
+		return errors.New("palu: MaxWeight must be >= 1")
+	}
+	return nil
+}
+
+// Mean returns the expected link weight E[w].
+func (w WeightModel) Mean() (float64, error) {
+	pmf, err := zipfmand.Model{Alpha: w.Alpha, Delta: w.Delta}.PMF(w.MaxWeight)
+	if err != nil {
+		return 0, err
+	}
+	var mean float64
+	for i, p := range pmf {
+		mean += float64(i+1) * p
+	}
+	return mean, nil
+}
+
+// sampler builds an alias table over the weight pmf.
+func (w WeightModel) sampler() (*xrand.Alias, error) {
+	pmf, err := zipfmand.Model{Alpha: w.Alpha, Delta: w.Delta}.PMF(w.MaxWeight)
+	if err != nil {
+		return nil, err
+	}
+	return xrand.NewAlias(pmf)
+}
+
+// WeightedHistograms are the degree and packet-degree distributions of a
+// weighted observed PALU network.
+type WeightedHistograms struct {
+	// Degree is the unweighted observed degree histogram (fan-out view).
+	Degree *hist.Histogram
+	// PacketDegree is the weighted degree histogram: per node, the sum of
+	// its incident observed link weights (source/destination packets view).
+	PacketDegree *hist.Histogram
+	// LinkWeight is the per-link weight histogram (link packets view).
+	LinkWeight *hist.Histogram
+}
+
+// FastWeightedHistograms extends FastObservedHistogram with link weights:
+// every observed edge draws an i.i.d. weight from wm, and each node
+// accumulates both its edge count and its weight sum. The independence
+// assumptions of Section V apply unchanged; the packet degree of a node
+// with observed degree k is the sum of k i.i.d. weights.
+func FastWeightedHistograms(params Params, n int, p float64, wm WeightModel, rng *xrand.RNG) (WeightedHistograms, error) {
+	if err := params.Validate(); err != nil {
+		return WeightedHistograms{}, err
+	}
+	if err := wm.Validate(); err != nil {
+		return WeightedHistograms{}, err
+	}
+	if n <= 0 {
+		return WeightedHistograms{}, errors.New("palu: node budget must be positive")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return WeightedHistograms{}, fmt.Errorf("palu: sampling probability p=%v outside [0,1]", p)
+	}
+	alias, err := wm.sampler()
+	if err != nil {
+		return WeightedHistograms{}, err
+	}
+	out := WeightedHistograms{
+		Degree:       hist.New(),
+		PacketDegree: hist.New(),
+		LinkWeight:   hist.New(),
+	}
+	drawWeights := func(k int) (int64, error) {
+		var sum int64
+		for i := 0; i < k; i++ {
+			w := int64(alias.Draw(rng)) + 1
+			sum += w
+			if err := out.LinkWeight.Add(int(w)); err != nil {
+				return 0, err
+			}
+		}
+		return sum, nil
+	}
+	addNode := func(k int) error {
+		if k <= 0 {
+			return nil
+		}
+		if err := out.Degree.Add(k); err != nil {
+			return err
+		}
+		wsum, err := drawWeights(k)
+		if err != nil {
+			return err
+		}
+		return out.PacketDegree.Add(int(wsum))
+	}
+	coreN := int(math.Round(params.C * float64(n)))
+	leafN := int(math.Round(params.L * float64(n)))
+	starN := int(math.Round(params.U * float64(n)))
+	for i := 0; i < coreN; i++ {
+		d, err := rng.Zeta(params.Alpha)
+		if err != nil {
+			return WeightedHistograms{}, err
+		}
+		k, err := rng.Binomial(d, p)
+		if err != nil {
+			return WeightedHistograms{}, err
+		}
+		if err := addNode(k); err != nil {
+			return WeightedHistograms{}, err
+		}
+	}
+	visLeaves, err := rng.Binomial(leafN, p)
+	if err != nil {
+		return WeightedHistograms{}, err
+	}
+	for i := 0; i < visLeaves; i++ {
+		if err := addNode(1); err != nil {
+			return WeightedHistograms{}, err
+		}
+	}
+	mu := params.Lambda * p
+	for i := 0; i < starN; i++ {
+		k, err := rng.Poisson(mu)
+		if err != nil {
+			return WeightedHistograms{}, err
+		}
+		if k == 0 {
+			continue
+		}
+		if err := addNode(k); err != nil { // the center
+			return WeightedHistograms{}, err
+		}
+		for j := 0; j < k; j++ { // its leaves, degree 1 each
+			if err := addNode(1); err != nil {
+				return WeightedHistograms{}, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ExpectedPacketDegreeTailExponent returns the predicted tail exponent of
+// the packet-degree (weighted) distribution: the heavier of the degree and
+// weight tails dominates the convolution, so the exponent is
+// min(α_degree, α_weight) — a standard result for sums of heavy-tailed
+// variables over a heavy-tailed number of terms.
+func ExpectedPacketDegreeTailExponent(params Params, wm WeightModel) float64 {
+	return math.Min(params.Alpha, wm.Alpha)
+}

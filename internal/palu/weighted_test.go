@@ -1,0 +1,167 @@
+package palu
+
+import (
+	"math"
+	"testing"
+
+	"hybridplaw/internal/xrand"
+)
+
+func testWeightModel() WeightModel {
+	return WeightModel{Alpha: 2.2, Delta: 0, MaxWeight: 1024}
+}
+
+func TestWeightModelValidate(t *testing.T) {
+	if err := testWeightModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []WeightModel{
+		{Alpha: 0, Delta: 0, MaxWeight: 10},
+		{Alpha: 2, Delta: -1.5, MaxWeight: 10},
+		{Alpha: 2, Delta: 0, MaxWeight: 0},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("Validate(%+v): expected error", w)
+		}
+	}
+}
+
+func TestWeightModelMean(t *testing.T) {
+	// Concentrated weight law: mean must be modest and > 1.
+	mean, err := testWeightModel().Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 1 || mean > 10 {
+		t.Errorf("mean weight = %v", mean)
+	}
+	// A steeper law must have a smaller mean.
+	steep, err := (WeightModel{Alpha: 3.5, Delta: 0, MaxWeight: 1024}).Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steep >= mean {
+		t.Errorf("steeper law mean %v >= %v", steep, mean)
+	}
+}
+
+func TestFastWeightedHistograms(t *testing.T) {
+	params, err := FromWeights(2, 2, 1.5, 2.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := testWeightModel()
+	r := xrand.New(606)
+	const n = 200000
+	wh, err := FastWeightedHistograms(params, n, 0.5, wm, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unweighted degree histogram must match the plain generator's
+	// distribution statistically (same seed law, different streams).
+	plain, err := FastObservedHistogram(params, n, 0.5, xrand.New(606))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff := math.Abs(float64(wh.Degree.Total())-float64(plain.Total())) /
+		float64(plain.Total()); relDiff > 0.02 {
+		t.Errorf("degree totals differ by %v", relDiff)
+	}
+	// Identity: the number of packet-degree observations equals the
+	// number of degree observations (same visible nodes).
+	if wh.PacketDegree.Total() != wh.Degree.Total() {
+		t.Errorf("packet-degree nodes %d != degree nodes %d",
+			wh.PacketDegree.Total(), wh.Degree.Total())
+	}
+	// Each observed link contributes exactly one weight observation; the
+	// number of link observations equals the total degree mass.
+	var degMass int64
+	for _, d := range wh.Degree.Support() {
+		degMass += int64(d) * wh.Degree.Count(d)
+	}
+	if wh.LinkWeight.Total() != degMass {
+		t.Errorf("link weights %d != total degree %d", wh.LinkWeight.Total(), degMass)
+	}
+	// Packet degree stochastically dominates degree: its mean is E[w]
+	// times larger.
+	meanW, err := wm.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkMass int64
+	for _, d := range wh.PacketDegree.Support() {
+		pkMass += int64(d) * wh.PacketDegree.Count(d)
+	}
+	ratio := float64(pkMass) / float64(degMass)
+	if math.Abs(ratio-meanW) > 0.1*meanW {
+		t.Errorf("packet/degree mass ratio = %v, want ~E[w] = %v", ratio, meanW)
+	}
+}
+
+func TestFastWeightedHistogramsErrors(t *testing.T) {
+	params, _ := FromWeights(2, 2, 1.5, 2.5, 2.0)
+	wm := testWeightModel()
+	r := xrand.New(1)
+	if _, err := FastWeightedHistograms(params, 0, 0.5, wm, r); err == nil {
+		t.Error("n=0: expected error")
+	}
+	if _, err := FastWeightedHistograms(params, 100, 1.5, wm, r); err == nil {
+		t.Error("p>1: expected error")
+	}
+	if _, err := FastWeightedHistograms(params, 100, 0.5, WeightModel{}, r); err == nil {
+		t.Error("invalid weight model: expected error")
+	}
+	if _, err := FastWeightedHistograms(Params{C: 9, Alpha: 2}, 100, 0.5, wm, r); err == nil {
+		t.Error("invalid params: expected error")
+	}
+}
+
+func TestExpectedPacketDegreeTailExponent(t *testing.T) {
+	params, err := FromWeights(3, 1, 0.5, 1.5, 2.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := WeightModel{Alpha: 1.9, Delta: 0, MaxWeight: 1 << 14}
+	if got := ExpectedPacketDegreeTailExponent(params, wm); got != 1.9 {
+		t.Fatalf("expected exponent = %v, want the heavier (weight) law", got)
+	}
+	wm.Alpha = 3.0
+	if got := ExpectedPacketDegreeTailExponent(params, wm); got != 2.6 {
+		t.Fatalf("expected exponent = %v, want the heavier (degree) law", got)
+	}
+}
+
+func TestMinCoreDegreeFloor(t *testing.T) {
+	params, err := FromWeights(1, 0, 0, 0, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(42)
+	u, err := Generate(params, GenerateOptions{N: 20000, MinCoreDegree: 5}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < u.CoreN; id++ {
+		if d := u.G.Degree(int32(id)); d < 4 {
+			// The configuration model may drop one stub on odd parity, so
+			// allow exactly one node at floor-1.
+			t.Fatalf("core node %d degree %d below floor", id, d)
+		}
+	}
+}
+
+func BenchmarkFastWeightedHistograms(b *testing.B) {
+	params, err := FromWeights(2, 2, 1.5, 2.5, 2.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wm := WeightModel{Alpha: 2.2, Delta: 0, MaxWeight: 1024}
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FastWeightedHistograms(params, 100000, 0.5, wm, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package plotio renders experiment output: CSV series for downstream
+// plotting and fixed-width ASCII log–log charts for terminal inspection.
+// Output is deterministic so figure regeneration can be golden-tested.
+package plotio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteCSV writes a header row and numeric rows. NaN cells are emitted as
+// empty fields so spreadsheet tools skip them.
+func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
+	if len(header) == 0 {
+		return errors.New("plotio: empty header")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("plotio: row %d has %d cells, header has %d", i, len(row), len(header))
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			if math.IsNaN(v) {
+				cells[j] = ""
+			} else {
+				cells[j] = fmt.Sprintf("%g", v)
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named curve of (X, Y) points for the ASCII plot.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune
+}
+
+// LogLogPlot renders series on log10 axes in a width×height character
+// grid with simple axis labels. Non-positive points are skipped (they have
+// no log representation). An empty plot (no valid points) returns an
+// error.
+func LogLogPlot(series []Series, width, height int) (string, error) {
+	if width < 20 || height < 5 {
+		return "", errors.New("plotio: plot area too small")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	type pt struct {
+		x, y float64
+		m    rune
+	}
+	var pts []pt
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plotio: series %q length mismatch", s.Name)
+		}
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 ||
+				math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			lx, ly := math.Log10(s.X[i]), math.Log10(s.Y[i])
+			pts = append(pts, pt{lx, ly, m})
+			minX, maxX = math.Min(minX, lx), math.Max(maxX, lx)
+			minY, maxY = math.Min(minY, ly), math.Max(maxY, ly)
+		}
+	}
+	if len(pts) == 0 {
+		return "", errors.New("plotio: no plottable points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		col := int((p.x - minX) / (maxX - minX) * float64(width-1))
+		row := int((maxY - p.y) / (maxY - minY) * float64(height-1))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = p.m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.1f |", maxY)
+	b.WriteString(string(grid[0]))
+	b.WriteByte('\n')
+	for i := 1; i < height-1; i++ {
+		b.WriteString("         |")
+		b.WriteString(string(grid[i]))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8.1f |", minY)
+	b.WriteString(string(grid[height-1]))
+	b.WriteByte('\n')
+	b.WriteString("          " + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "          log10 x: %.1f .. %.1f   (log10 y axis)\n", minX, maxX)
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", m, s.Name))
+	}
+	b.WriteString("          " + strings.Join(legend, "  ") + "\n")
+	return b.String(), nil
+}
+
+// PooledSeries converts a pooled differential cumulative distribution into
+// a (degree, D) series using the upper bin edges 2^i as x coordinates.
+func PooledSeries(name string, d []float64, marker rune) Series {
+	s := Series{Name: name, Marker: marker}
+	for i, v := range d {
+		s.X = append(s.X, math.Pow(2, float64(i)))
+		s.Y = append(s.Y, v)
+	}
+	return s
+}

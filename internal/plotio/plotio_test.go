@@ -1,0 +1,108 @@
+package plotio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]float64{{1, 2}, {3.5, math.NaN()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3.5,\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q want %q", buf.String(), want)
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil, nil); err == nil {
+		t.Error("empty header: expected error")
+	}
+	if err := WriteCSV(&buf, []string{"a"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("ragged row: expected error")
+	}
+}
+
+func TestLogLogPlotRendering(t *testing.T) {
+	s := Series{
+		Name: "powerlaw",
+		X:    []float64{1, 10, 100, 1000},
+		Y:    []float64{1, 0.1, 0.01, 0.001},
+	}
+	out, err := LogLogPlot([]Series{s}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "powerlaw") {
+		t.Error("legend missing")
+	}
+	if strings.Count(out, "*") < 4 {
+		t.Errorf("expected at least 4 plotted points:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 13 { // height + axis + 2 footer lines
+		t.Errorf("plot has %d lines", len(lines))
+	}
+}
+
+func TestLogLogPlotSkipsNonPositive(t *testing.T) {
+	s := Series{Name: "mixed", X: []float64{0, -1, 10, 100}, Y: []float64{1, 1, 0.5, 0.05}}
+	out, err := LogLogPlot([]Series{s}, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the legend line (it contains the marker rune) before counting.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	plotArea := strings.Join(lines[:len(lines)-1], "\n")
+	if strings.Count(plotArea, "*") != 2 {
+		t.Errorf("expected exactly 2 plotted points:\n%s", out)
+	}
+}
+
+func TestLogLogPlotErrors(t *testing.T) {
+	if _, err := LogLogPlot(nil, 40, 10); err == nil {
+		t.Error("no series: expected error")
+	}
+	s := Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}
+	if _, err := LogLogPlot([]Series{s}, 40, 10); err == nil {
+		t.Error("length mismatch: expected error")
+	}
+	if _, err := LogLogPlot([]Series{{Name: "tiny", X: []float64{1}, Y: []float64{1}}}, 5, 2); err == nil {
+		t.Error("tiny canvas: expected error")
+	}
+	zero := Series{Name: "zeros", X: []float64{0}, Y: []float64{0}}
+	if _, err := LogLogPlot([]Series{zero}, 40, 10); err == nil {
+		t.Error("no plottable points: expected error")
+	}
+}
+
+func TestLogLogPlotDeterministic(t *testing.T) {
+	s := Series{Name: "d", X: []float64{1, 2, 4, 8}, Y: []float64{0.5, 0.25, 0.125, 0.0625}, Marker: 'o'}
+	a, err := LogLogPlot([]Series{s}, 50, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LogLogPlot([]Series{s}, 50, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("plot output not deterministic")
+	}
+}
+
+func TestPooledSeries(t *testing.T) {
+	s := PooledSeries("pool", []float64{0.5, 0.3, 0.2}, 'x')
+	if len(s.X) != 3 || s.X[0] != 1 || s.X[1] != 2 || s.X[2] != 4 {
+		t.Errorf("x edges = %v", s.X)
+	}
+	if s.Y[0] != 0.5 || s.Marker != 'x' {
+		t.Error("series content wrong")
+	}
+}

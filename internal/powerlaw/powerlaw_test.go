@@ -1,0 +1,252 @@
+package powerlaw
+
+import (
+	"math"
+	"testing"
+
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/palu"
+	"hybridplaw/internal/xrand"
+	"hybridplaw/internal/zipfmand"
+)
+
+func zetaSampleHistogram(t testing.TB, alpha float64, n int, seed uint64) *hist.Histogram {
+	t.Helper()
+	r := xrand.New(seed)
+	h := hist.New()
+	for i := 0; i < n; i++ {
+		d, err := r.Zeta(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestFitAtXminRecoversAlpha(t *testing.T) {
+	for _, alpha := range []float64{1.8, 2.2, 2.8} {
+		h := zetaSampleHistogram(t, alpha, 200000, uint64(alpha*1000))
+		f, err := FitAtXmin(h, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f.Alpha-alpha) > 0.05 {
+			t.Errorf("alpha = %v, want %v", f.Alpha, alpha)
+		}
+		if f.KS > 0.02 {
+			t.Errorf("alpha=%v: KS = %v on true power-law data", alpha, f.KS)
+		}
+		if f.NTail != 200000 {
+			t.Errorf("NTail = %d", f.NTail)
+		}
+	}
+}
+
+func TestFitAtXminErrors(t *testing.T) {
+	if _, err := FitAtXmin(nil, 1); err == nil {
+		t.Error("nil histogram: expected error")
+	}
+	if _, err := FitAtXmin(hist.New(), 1); err == nil {
+		t.Error("empty histogram: expected error")
+	}
+	h, _ := hist.FromCounts(map[int]int64{1: 100})
+	if _, err := FitAtXmin(h, 0); err == nil {
+		t.Error("xmin=0: expected error")
+	}
+	if _, err := FitAtXmin(h, 50); err == nil {
+		t.Error("xmin above support: expected error")
+	}
+}
+
+func TestFitScanFindsCutoff(t *testing.T) {
+	// Data that is power-law only above d=4: heavy uniform contamination
+	// below. The scan should pick xmin >= 3 and recover alpha.
+	r := xrand.New(99)
+	h := hist.New()
+	for i := 0; i < 30000; i++ {
+		_ = h.Add(r.Intn(4) + 1) // uniform 1..4 head
+	}
+	for i := 0; i < 60000; i++ {
+		d, err := r.Zeta(2.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = h.Add(4 * d) // power-law tail starting at 4
+	}
+	f, err := FitScan(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Xmin < 3 {
+		t.Errorf("xmin = %d, expected the contaminated head to be excluded", f.Xmin)
+	}
+	if math.Abs(f.Alpha-2.5) > 0.25 {
+		t.Errorf("alpha = %v, want ~2.5", f.Alpha)
+	}
+}
+
+func TestFitScanErrors(t *testing.T) {
+	if _, err := FitScan(nil, 0); err == nil {
+		t.Error("nil: expected error")
+	}
+	if _, err := FitScan(hist.New(), 0); err == nil {
+		t.Error("empty: expected error")
+	}
+}
+
+func TestSampleMatchesModel(t *testing.T) {
+	f := Fit{Alpha: 2.5, Xmin: 2}
+	r := xrand.New(7)
+	xs, err := f.Sample(100000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hist.New()
+	for _, x := range xs {
+		if x < int64(f.Xmin) {
+			t.Fatalf("sample %d below xmin", x)
+		}
+		if err := h.Add(int(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Refit: should recover alpha.
+	rf, err := FitAtXmin(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rf.Alpha-2.5) > 0.08 {
+		t.Errorf("refit alpha = %v", rf.Alpha)
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	r := xrand.New(1)
+	if _, err := (Fit{Alpha: 0.5, Xmin: 1}).Sample(10, r); err == nil {
+		t.Error("alpha<=1: expected error")
+	}
+	if _, err := (Fit{Alpha: 2, Xmin: 1}).Sample(-1, r); err == nil {
+		t.Error("n<0: expected error")
+	}
+}
+
+func TestBootstrapAcceptsTruePowerLaw(t *testing.T) {
+	h := zetaSampleHistogram(t, 2.3, 3000, 11)
+	f, err := FitScan(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BootstrapPValue(h, f, 30, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True power-law data should not be strongly rejected.
+	if p < 0.05 {
+		t.Errorf("bootstrap p = %v for true power-law data", p)
+	}
+}
+
+func TestBootstrapRejectsLeafHeavyData(t *testing.T) {
+	// PALU data with strong leaf/unattached excess: the single power law
+	// fitted over the full support should be rejected far more often.
+	params, err := palu.FromWeights(1, 3, 2, 1.5, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := palu.FastObservedHistogram(params, 30000, 0.7, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FitAtXmin(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BootstrapPValue(h, f, 30, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.1 {
+		t.Errorf("bootstrap p = %v; leaf-heavy data should be implausible under pure power law", p)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	h := zetaSampleHistogram(t, 2.3, 100, 1)
+	f, err := FitAtXmin(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BootstrapPValue(h, f, 0, xrand.New(1)); err == nil {
+		t.Error("reps=0: expected error")
+	}
+}
+
+func TestCompareZMBeatsPowerLawOnPALUData(t *testing.T) {
+	// E-X2: on leaf-heavy streaming-like data the two-parameter modified
+	// Zipf–Mandelbrot must beat the one-parameter power law in KS and the
+	// power law must miss the degree-1 mass badly.
+	params, err := palu.FromWeights(1, 3, 2, 1.5, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := palu.FastObservedHistogram(params, 300000, 0.7, xrand.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zmFit, _, err := zipfmand.FitHistogram(h, zipfmand.DefaultFitOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(h, zmFit.SSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CompetitorLogSSE >= cmp.PowerLawLogSSE/2 {
+		t.Errorf("ZM log SSE %v should clearly beat power-law log SSE %v",
+			cmp.CompetitorLogSSE, cmp.PowerLawLogSSE)
+	}
+	// The full-support MLE is pulled far from the tail exponent by the
+	// degree-1 excess: the signature single-power-law failure.
+	if cmp.TailGap < 0.3 {
+		t.Errorf("tail gap = %v; expected the d=1 excess to distort the MLE", cmp.TailGap)
+	}
+}
+
+func TestCompareOnPurePowerLaw(t *testing.T) {
+	// Control: on true power-law data the single power law is adequate and
+	// the tail gap is small.
+	h := zetaSampleHistogram(t, 2.2, 200000, 88)
+	cmp, err := Compare(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmp.PowerLawAlpha-2.2) > 0.05 {
+		t.Errorf("alpha = %v", cmp.PowerLawAlpha)
+	}
+	if cmp.TailGap > 0.4 {
+		t.Errorf("tail gap = %v on true power-law data", cmp.TailGap)
+	}
+}
+
+func BenchmarkFitScan(b *testing.B) {
+	h := zetaSampleHistogram(b, 2.2, 50000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitScan(h, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitAtXmin(b *testing.B) {
+	h := zetaSampleHistogram(b, 2.2, 50000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitAtXmin(h, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

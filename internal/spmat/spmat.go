@@ -1,0 +1,300 @@
+// Package spmat implements the sparse traffic matrices of Section II.
+//
+// At a given time t, NV consecutive valid packets are aggregated into a
+// sparse matrix At where At(i,j) is the number of valid packets between
+// source i and destination j. All the network quantities of Fig. 1 and all
+// the aggregate properties of Table I are computed from At. The package
+// provides both the summation-notation and matrix-notation forms of every
+// Table I aggregate so tests can verify their equality, mirroring the
+// paper's presentation:
+//
+//	Valid packets NV       Σi Σj At(i,j)        1ᵀAt1
+//	Unique links           Σi Σj |At(i,j)|₀     1ᵀ|At|₀1
+//	Unique sources         Σi |Σj At(i,j)|₀     1ᵀ|At·1|₀
+//	Unique destinations    Σj |Σi At(i,j)|₀     |1ᵀAt|₀1
+//
+// where |·|₀ is the zero-norm that sets each nonzero value of its argument
+// to 1.
+package spmat
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Entry is a single (source, destination, count) triple.
+type Entry struct {
+	Src, Dst uint32
+	Count    int64
+}
+
+// Builder accumulates packet observations into a sparse matrix. It is the
+// COO/DOK accumulation stage; Build freezes it into an immutable Matrix.
+type Builder struct {
+	counts map[[2]uint32]int64
+}
+
+// NewBuilder returns an empty accumulation builder.
+func NewBuilder() *Builder {
+	return &Builder{counts: make(map[[2]uint32]int64)}
+}
+
+// Add accumulates n packets from src to dst. n must be positive.
+func (b *Builder) Add(src, dst uint32, n int64) error {
+	if n <= 0 {
+		return errors.New("spmat: non-positive packet count")
+	}
+	b.counts[[2]uint32{src, dst}] += n
+	return nil
+}
+
+// AddPacket accumulates a single packet from src to dst.
+func (b *Builder) AddPacket(src, dst uint32) {
+	b.counts[[2]uint32{src, dst}]++
+}
+
+// Merge folds another builder's counts into b. The other builder remains
+// valid; Merge is the reduction step of the parallel shard builders.
+func (b *Builder) Merge(other *Builder) {
+	for k, v := range other.counts {
+		b.counts[k] += v
+	}
+}
+
+// NNZ returns the number of distinct (src, dst) links accumulated so far.
+func (b *Builder) NNZ() int { return len(b.counts) }
+
+// Build freezes the accumulated counts into an immutable CSR-ordered
+// Matrix. The builder can continue to accumulate afterwards.
+func (b *Builder) Build() *Matrix {
+	entries := make([]Entry, 0, len(b.counts))
+	for k, v := range b.counts {
+		entries = append(entries, Entry{Src: k[0], Dst: k[1], Count: v})
+	}
+	return FromEntries(entries)
+}
+
+// Matrix is an immutable sparse traffic matrix in row-major (CSR-like)
+// entry order. Row ids are source addresses, column ids destinations;
+// the address space is sparse (uint32 ids, no dense dimension).
+type Matrix struct {
+	entries []Entry // sorted by (Src, Dst), unique keys
+	total   int64   // Σ counts = NV
+}
+
+// FromEntries builds a Matrix from arbitrary-order entries, combining
+// duplicate (src, dst) keys by summation.
+func FromEntries(entries []Entry) *Matrix {
+	es := append([]Entry(nil), entries...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+	// Combine duplicates in place.
+	out := es[:0]
+	for _, e := range es {
+		if n := len(out); n > 0 && out[n-1].Src == e.Src && out[n-1].Dst == e.Dst {
+			out[n-1].Count += e.Count
+		} else {
+			out = append(out, e)
+		}
+	}
+	var total int64
+	for _, e := range out {
+		total += e.Count
+	}
+	return &Matrix{entries: out, total: total}
+}
+
+// Entries returns the matrix's entries in row-major order. The slice is
+// shared; callers must not modify it.
+func (m *Matrix) Entries() []Entry { return m.entries }
+
+// NNZ returns the number of stored nonzero entries (= unique links).
+func (m *Matrix) NNZ() int { return len(m.entries) }
+
+// ValidPackets returns NV = Σi Σj At(i,j) (Table I row 1; matrix form 1ᵀAt1).
+func (m *Matrix) ValidPackets() int64 { return m.total }
+
+// UniqueLinks returns Σi Σj |At(i,j)|₀ (Table I row 2; matrix form 1ᵀ|At|₀1).
+func (m *Matrix) UniqueLinks() int64 { return int64(len(m.entries)) }
+
+// UniqueSources returns Σi |Σj At(i,j)|₀ (Table I row 3; matrix form 1ᵀ|At·1|₀).
+func (m *Matrix) UniqueSources() int64 {
+	var n int64
+	var prev uint32
+	first := true
+	for _, e := range m.entries {
+		if first || e.Src != prev {
+			n++
+			prev = e.Src
+			first = false
+		}
+	}
+	return n
+}
+
+// UniqueDestinations returns Σj |Σi At(i,j)|₀ (Table I row 4; matrix form
+// |1ᵀAt|₀1).
+func (m *Matrix) UniqueDestinations() int64 {
+	seen := make(map[uint32]struct{}, len(m.entries))
+	for _, e := range m.entries {
+		seen[e.Dst] = struct{}{}
+	}
+	return int64(len(seen))
+}
+
+// Aggregates bundles the four Table I aggregate properties of a window.
+type Aggregates struct {
+	ValidPackets       int64
+	UniqueLinks        int64
+	UniqueSources      int64
+	UniqueDestinations int64
+}
+
+// TableI computes all four aggregates in a single pass.
+func (m *Matrix) TableI() Aggregates {
+	return Aggregates{
+		ValidPackets:       m.ValidPackets(),
+		UniqueLinks:        m.UniqueLinks(),
+		UniqueSources:      m.UniqueSources(),
+		UniqueDestinations: m.UniqueDestinations(),
+	}
+}
+
+// String renders the aggregates as a Table I-shaped report.
+func (a Aggregates) String() string {
+	return fmt.Sprintf("valid packets NV=%d, unique links=%d, unique sources=%d, unique destinations=%d",
+		a.ValidPackets, a.UniqueLinks, a.UniqueSources, a.UniqueDestinations)
+}
+
+// SourcePackets returns, per source, the total packets sent (row sums
+// At·1): the "source packets" quantity of Fig. 1.
+func (m *Matrix) SourcePackets() map[uint32]int64 {
+	out := make(map[uint32]int64)
+	for _, e := range m.entries {
+		out[e.Src] += e.Count
+	}
+	return out
+}
+
+// SourceFanOut returns, per source, the number of unique destinations
+// (row zero-norm sums |At|₀·1): the "source fan-out" quantity of Fig. 1.
+func (m *Matrix) SourceFanOut() map[uint32]int64 {
+	out := make(map[uint32]int64)
+	for _, e := range m.entries {
+		out[e.Src]++ // entries are unique per (src,dst)
+	}
+	return out
+}
+
+// LinkPackets returns the packet count per unique link (the nonzero values
+// of At): the "link packets" quantity of Fig. 1.
+func (m *Matrix) LinkPackets() []int64 {
+	out := make([]int64, len(m.entries))
+	for i, e := range m.entries {
+		out[i] = e.Count
+	}
+	return out
+}
+
+// DestinationFanIn returns, per destination, the number of unique sources
+// (column zero-norm sums 1ᵀ|At|₀): the "destination fan-in" of Fig. 1.
+func (m *Matrix) DestinationFanIn() map[uint32]int64 {
+	out := make(map[uint32]int64)
+	for _, e := range m.entries {
+		out[e.Dst]++
+	}
+	return out
+}
+
+// DestinationPackets returns, per destination, the total packets received
+// (column sums 1ᵀAt): the "destination packets" quantity of Fig. 1.
+func (m *Matrix) DestinationPackets() map[uint32]int64 {
+	out := make(map[uint32]int64)
+	for _, e := range m.entries {
+		out[e.Dst] += e.Count
+	}
+	return out
+}
+
+// Transpose returns Atᵀ (destination-major view), used to verify the
+// column-aggregate identities (unique destinations of A == unique sources
+// of Aᵀ).
+func (m *Matrix) Transpose() *Matrix {
+	es := make([]Entry, len(m.entries))
+	for i, e := range m.entries {
+		es[i] = Entry{Src: e.Dst, Dst: e.Src, Count: e.Count}
+	}
+	return FromEntries(es)
+}
+
+// ZeroNorm returns |At|₀: the matrix with every nonzero count replaced by 1.
+func (m *Matrix) ZeroNorm() *Matrix {
+	es := make([]Entry, len(m.entries))
+	for i, e := range m.entries {
+		es[i] = Entry{Src: e.Src, Dst: e.Dst, Count: 1}
+	}
+	return FromEntries(es)
+}
+
+// Add returns the entrywise sum At + Bt, the aggregation of two windows.
+func (m *Matrix) Add(other *Matrix) *Matrix {
+	es := make([]Entry, 0, len(m.entries)+len(other.entries))
+	es = append(es, m.entries...)
+	es = append(es, other.entries...)
+	return FromEntries(es)
+}
+
+// ParallelBuild shards a packet slice across workers, accumulates each
+// shard into a private builder, and merges: the D4M-style parallel
+// aggregation path. workers <= 0 selects GOMAXPROCS.
+func ParallelBuild(packets []Entry, workers int) *Matrix {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(packets) {
+		workers = len(packets)
+	}
+	if workers <= 1 {
+		b := NewBuilder()
+		for _, p := range packets {
+			b.counts[[2]uint32{p.Src, p.Dst}] += p.Count
+		}
+		return b.Build()
+	}
+	shards := make([]*Builder, workers)
+	var wg sync.WaitGroup
+	chunk := (len(packets) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(packets) {
+			hi = len(packets)
+		}
+		if lo >= hi {
+			shards[w] = NewBuilder()
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			b := NewBuilder()
+			for _, p := range packets[lo:hi] {
+				b.counts[[2]uint32{p.Src, p.Dst}] += p.Count
+			}
+			shards[w] = b
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	root := shards[0]
+	for _, s := range shards[1:] {
+		root.Merge(s)
+	}
+	return root.Build()
+}

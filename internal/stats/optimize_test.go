@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBisectSimpleRoots(t *testing.T) {
+	cases := []struct {
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{func(x float64) float64 { return x*x - 2 }, 0, 2, math.Sqrt2},
+		{func(x float64) float64 { return math.Cos(x) }, 0, 3, math.Pi / 2},
+		{func(x float64) float64 { return x }, -1, 1, 0},
+	}
+	for i, c := range cases {
+		got, err := Bisect(c.f, c.a, c.b, 1e-12)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("case %d: root = %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9); err != ErrNoBracket {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+	if _, err := Bisect(func(x float64) float64 { return math.NaN() }, -1, 1, 1e-9); err != ErrNumeric {
+		t.Errorf("expected ErrNumeric, got %v", err)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	got, err := Bisect(func(x float64) float64 { return x - 1 }, 1, 2, 1e-9)
+	if err != nil || got != 1 {
+		t.Errorf("endpoint root: %v, %v", got, err)
+	}
+}
+
+func TestBrentAgreesWithBisect(t *testing.T) {
+	fns := []struct {
+		f    func(float64) float64
+		a, b float64
+	}{
+		{func(x float64) float64 { return x*x*x - x - 2 }, 1, 2},
+		{func(x float64) float64 { return math.Exp(x) - 5 }, 0, 3},
+		{func(x float64) float64 { return math.Log(x) - 1 }, 1, 5},
+	}
+	for i, c := range fns {
+		rb, err1 := Bisect(c.f, c.a, c.b, 1e-13)
+		rB, err2 := Brent(c.f, c.a, c.b, 1e-13)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("case %d: %v %v", i, err1, err2)
+		}
+		if math.Abs(rb-rB) > 1e-9 {
+			t.Errorf("case %d: bisect %v vs brent %v", i, rb, rB)
+		}
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 + x*x }, -1, 1, 1e-9); err != ErrNoBracket {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	// min of (x-1.7)^2 + 3
+	got, err := GoldenSection(func(x float64) float64 { return (x-1.7)*(x-1.7) + 3 }, -10, 10, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.7) > 1e-7 {
+		t.Errorf("minimizer = %v want 1.7", got)
+	}
+	// Reversed interval should also work.
+	got, err = GoldenSection(func(x float64) float64 { return math.Abs(x + 2) }, 5, -5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got+2) > 1e-6 {
+		t.Errorf("minimizer = %v want -2", got)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	rosen := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := NelderMead(rosen, []float64{-1.2, 1}, 0.5, 1e-12, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]-1) > 1e-4 {
+		t.Errorf("minimizer = %v, want (1,1); f=%v iters=%d", res.X, res.F, res.Iters)
+	}
+}
+
+func TestNelderMeadQuadratic3D(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-1)*(x[0]-1) + 2*(x[1]+2)*(x[1]+2) + 0.5*(x[2]-3)*(x[2]-3)
+	}
+	res, err := NelderMead(f, []float64{0, 0, 0}, 1, 1e-14, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -2, 3}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-4 {
+			t.Errorf("x[%d] = %v want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestNelderMeadHandlesNaNRegions(t *testing.T) {
+	// Objective undefined (NaN) for x<0; the minimum is at x=0.5.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 0.5) * (x[0] - 0.5)
+	}
+	res, err := NelderMead(f, []float64{2}, 0.5, 1e-12, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-5 {
+		t.Errorf("minimizer = %v", res.X)
+	}
+}
+
+func TestNelderMeadEmptyStart(t *testing.T) {
+	if _, err := NelderMead(func(x []float64) float64 { return 0 }, nil, 1, 1e-9, 10); err == nil {
+		t.Error("empty start: expected error")
+	}
+}
+
+func TestMultiStartPicksGlobal(t *testing.T) {
+	// Double well: minima at -2 (f=-1) and +2 (f=-2). Starting near both,
+	// multistart should find the deeper one.
+	f := func(x []float64) float64 {
+		v := x[0]
+		return 0.05*math.Pow(v*v-4, 2) - map[bool]float64{true: 2, false: 1}[v > 0]*
+			math.Exp(-math.Pow(math.Abs(v)-2, 2))
+	}
+	res, err := MultiStartNelderMead(f, [][]float64{{-2.5}, {2.5}}, 0.3, 1e-12, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] < 0 {
+		t.Errorf("multistart picked the shallow minimum: x=%v f=%v", res.X, res.F)
+	}
+	if _, err := MultiStartNelderMead(f, nil, 0.3, 1e-9, 10); err == nil {
+		t.Error("no starts: expected error")
+	}
+}
+
+func BenchmarkNelderMead2D(b *testing.B) {
+	f := func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + (x[1]+1)*(x[1]+1)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := NelderMead(f, []float64{0, 0}, 1, 1e-10, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrent(b *testing.B) {
+	f := func(x float64) float64 { return math.Exp(x) - 5 }
+	for i := 0; i < b.N; i++ {
+		if _, err := Brent(f, 0, 3, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOLSExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 - 2*v
+	}
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope+2) > 1e-12 || math.Abs(fit.Intercept-3) > 1e-12 {
+		t.Errorf("fit = %+v, want slope -2 intercept 3", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if fit.SlopeStdErr > 1e-10 {
+		t.Errorf("exact line should have ~0 slope stderr, got %v", fit.SlopeStdErr)
+	}
+}
+
+func TestOLSKnownNoise(t *testing.T) {
+	// Deterministic "noise" with zero mean and zero correlation with x by
+	// symmetry: residuals +e, -e at x symmetric around the mean.
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1.5, 2.4, 3.5, 4.6, 5.5} // 1.5 + x with residuals 0,-.1,0,.1,0
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-1.02) > 1e-9 {
+		t.Errorf("slope = %v", fit.Slope)
+	}
+	if fit.R2 <= 0.99 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point: expected error")
+	}
+	if _, err := OLS([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch: expected error")
+	}
+	if _, err := OLS([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x-variance: expected error")
+	}
+	if _, err := OLS([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Error("NaN input: expected error")
+	}
+}
+
+func TestWeightedOLSIgnoresZeroWeight(t *testing.T) {
+	x := []float64{1, 2, 3, 100}
+	y := []float64{2, 4, 6, -50}
+	w := []float64{1, 1, 1, 0}
+	fit, err := WeightedOLS(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept) > 1e-12 {
+		t.Errorf("outlier with zero weight affected fit: %+v", fit)
+	}
+	if fit.N != 3 {
+		t.Errorf("N = %d, want 3", fit.N)
+	}
+}
+
+func TestWeightedOLSNegativeWeight(t *testing.T) {
+	if _, err := WeightedOLS([]float64{1, 2}, []float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("negative weight: expected error")
+	}
+}
+
+func TestRegressThroughOrigin(t *testing.T) {
+	x := []float64{1, 2, 4}
+	y := []float64{3, 6, 12}
+	w := []float64{1, 1, 1}
+	b, err := RegressThroughOrigin(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-3) > 1e-12 {
+		t.Errorf("slope = %v, want 3", b)
+	}
+	if _, err := RegressThroughOrigin([]float64{0, 0}, []float64{1, 1}, []float64{1, 1}); err == nil {
+		t.Error("zero design: expected error")
+	}
+	if _, err := RegressThroughOrigin(nil, nil, nil); err == nil {
+		t.Error("empty: expected error")
+	}
+}
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	xs := []float64{1.5, -2, 7, 0.25, 9, -3.5, 2}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	mean := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	wantVar := ss / float64(len(xs)-1)
+	if math.Abs(w.Mean()-mean) > 1e-12 {
+		t.Errorf("mean = %v want %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-wantVar) > 1e-12 {
+		t.Errorf("var = %v want %v", w.Variance(), wantVar)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d", w.N())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.Mean() != 0 {
+		t.Error("empty accumulator should be zero-valued")
+	}
+	w.Add(5)
+	if w.Variance() != 0 || w.Mean() != 5 {
+		t.Errorf("single obs: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("out-of-range q should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
