@@ -1,8 +1,11 @@
 // Command palu-traffic runs the Section II measurement pipeline on
-// synthetic observatory traffic: it cuts the stream into fixed-NV windows,
-// prints the Table I aggregates per window, and reports the pooled
-// differential cumulative distribution of a chosen Fig. 1 quantity with
-// its cross-window ±1σ band and modified Zipf–Mandelbrot fit.
+// observatory traffic: it streams packets (synthetic or replayed from a
+// trace CSV) through the single-pass pipeline engine, cutting fixed-NV
+// windows on the fly, prints the Table I aggregates per window, and
+// reports the pooled differential cumulative distribution of a chosen
+// Fig. 1 quantity with its cross-window ±1σ band and modified
+// Zipf–Mandelbrot fit. Memory stays bounded by the worker pool no matter
+// how long the trace is.
 //
 // Usage:
 //
@@ -41,6 +44,7 @@ func main() {
 		p        = flag.Float64("p", 0.5, "edge observation probability")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		quantity = flag.String("quantity", "fan-out", "quantity: source-packets|fan-out|link-packets|fan-in|dest-packets")
+		workers  = flag.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS)")
 		plot     = flag.Bool("plot", false, "render ASCII log-log plot")
 		trace    = flag.String("trace", "", "replay a packet trace CSV (src,dst,valid) instead of synthesizing traffic")
 	)
@@ -50,24 +54,15 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown quantity %q (want one of %s)", *quantity, strings.Join(quantityNames(), "|"))
 	}
-	var wins []*hybridplaw.Window
+
+	var src hybridplaw.PacketSource
 	if *trace != "" {
 		f, err := os.Open(*trace)
 		if err != nil {
 			log.Fatal(err)
 		}
-		packets, err := stream.ReadTraceCSV(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		wins, err = hybridplaw.CutWindows(packets, *nv)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if len(wins) > *windows {
-			wins = wins[:*windows]
-		}
+		defer f.Close()
+		src = hybridplaw.NewCSVSource(f)
 	} else {
 		params, err := hybridplaw.PALUFromWeights(2, 2, 1.5, 2.5, 2.0)
 		if err != nil {
@@ -81,34 +76,30 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		wins, err = site.GenerateWindows(*windows, *nv)
-		if err != nil {
-			log.Fatal(err)
-		}
+		src = site.PacketSource()
 	}
 
 	fmt.Println("Table I aggregate network properties per window:")
 	fmt.Printf("%4s %12s %12s %14s %18s\n", "t", "NV", "links", "sources", "destinations")
-	for _, w := range wins {
-		agg := w.Matrix.TableI()
+	tableSink := hybridplaw.FuncSink(func(res *hybridplaw.WindowResult) error {
+		agg := res.Aggregates
 		fmt.Printf("%4d %12d %12d %14d %18d\n",
-			w.T, agg.ValidPackets, agg.UniqueLinks, agg.UniqueSources, agg.UniqueDestinations)
+			res.T, agg.ValidPackets, agg.UniqueLinks, agg.UniqueSources, agg.UniqueDestinations)
+		return nil
+	})
+	ensSink := hybridplaw.NewEnsembleSink(q)
+
+	stats, err := hybridplaw.RunPipeline(src, hybridplaw.PipelineConfig{
+		NV: *nv, Workers: *workers, MaxWindows: *windows,
+	}, tableSink, ensSink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if stats.Windows == 0 {
+		log.Fatal(stream.ErrShortStream)
 	}
 
-	ens := hist.NewEnsemble()
-	merged := hybridplaw.NewHistogram()
-	for _, w := range wins {
-		h, err := stream.QuantityHistogram(w, q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		merged.Merge(h)
-		pl, err := h.Pool()
-		if err != nil {
-			log.Fatal(err)
-		}
-		ens.Add(pl)
-	}
+	ens, merged := ensSink.Ensemble(q), ensSink.Merged(q)
 	mean, sigma := ens.Mean(), ens.Sigma()
 	fmt.Printf("\n%s: pooled differential cumulative probability over %d windows\n", q, ens.Windows())
 	fmt.Printf("%8s %14s %14s\n", "di", "mean D(di)", "sigma(di)")
@@ -116,9 +107,7 @@ func main() {
 		fmt.Printf("%8d %14.6g %14.6g\n", hist.BinUpper(i), mean[i], sigma[i])
 	}
 
-	fit, err := hybridplaw.FitZipfMandelbrotPooled(
-		&hybridplaw.Pooled{D: mean, Total: merged.Total()},
-		merged.MaxDegree(), zipfmand.DefaultFitOptions())
+	fit, err := ensSink.FitZM(q, zipfmand.DefaultFitOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 // Trafficpipeline demonstrates the full Section II measurement path on
-// synthetic observatory traffic: packet stream → fixed-NV windows →
-// sparse traffic matrices (Table I aggregates) → the five Fig. 1 network
-// quantities → pooled distributions with cross-window error bars.
+// synthetic observatory traffic, using the single-pass streaming engine:
+// packet source → fixed-NV windows on a bounded worker pool → Table I
+// aggregates and all five Fig. 1 network quantities per window → pooled
+// distributions with cross-window error bars, all in one pass over the
+// stream with at most workers+1 windows in memory.
 package main
 
 import (
@@ -30,42 +32,45 @@ func main() {
 	}
 
 	const nv = 100000
-	wins, err := site.GenerateWindows(4, nv)
+	const numWindows = 4
+
+	// Three sinks share the single pass: one prints Table I aggregates as
+	// windows close, one keeps window t=0 for the Fig. 1 readout, and one
+	// accumulates the cross-window fan-out ensemble.
+	fmt.Println("Table I aggregates per window (streamed, matrices never materialized):")
+	tableSink := hybridplaw.FuncSink(func(res *hybridplaw.WindowResult) error {
+		fmt.Printf("  t=%d: %v\n", res.T, res.Aggregates)
+		return nil
+	})
+	var first *hybridplaw.WindowResult
+	firstSink := hybridplaw.FuncSink(func(res *hybridplaw.WindowResult) error {
+		if first == nil {
+			first = res
+		}
+		return nil
+	})
+	ens := hybridplaw.NewEnsembleSink(hybridplaw.SourceFanOut)
+
+	stats, err := hybridplaw.RunPipeline(site.PacketSource(), hybridplaw.PipelineConfig{
+		NV: nv, MaxWindows: numWindows,
+	}, tableSink, firstSink, ens)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("cut %d windows of NV=%d valid packets each\n\n", len(wins), nv)
-	fmt.Println("Table I aggregates (matrix notation == summation notation):")
-	for _, w := range wins {
-		fmt.Printf("  t=%d: %v\n", w.T, w.Matrix.TableI())
-	}
+	fmt.Printf("\ncut %d windows of NV=%d valid packets each (%d invalid filtered)\n",
+		stats.Windows, nv, stats.InvalidPackets)
 
 	fmt.Println("\nFig. 1 network quantities of window t=0:")
 	for _, q := range stream.Quantities {
-		h, err := hybridplaw.QuantityHistogram(wins[0], q)
-		if err != nil {
-			log.Fatal(err)
-		}
+		h := first.Hists[q]
 		fmt.Printf("  %-22s observations=%-8d dmax=%-7d D(1)=%.4f\n",
 			q, h.Total(), h.MaxDegree(), h.FractionDegreeOne())
 	}
 
 	// Cross-window ensemble of source fan-out, the paper's ±1σ band.
-	ens := hybridplaw.NewEnsemble()
-	for _, w := range wins {
-		h, err := hybridplaw.QuantityHistogram(w, hybridplaw.SourceFanOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p, err := h.Pool()
-		if err != nil {
-			log.Fatal(err)
-		}
-		ens.Add(p)
-	}
-	mean, sigma := ens.Mean(), ens.Sigma()
-	fmt.Printf("\nsource fan-out pooled D(di) over %d windows (mean ± sigma):\n", ens.Windows())
+	e := ens.Ensemble(hybridplaw.SourceFanOut)
+	mean, sigma := e.Mean(), e.Sigma()
+	fmt.Printf("\nsource fan-out pooled D(di) over %d windows (mean ± sigma):\n", e.Windows())
 	for i := range mean {
 		fmt.Printf("  di=%-7d D=%.6f ± %.6f\n", hist.BinUpper(i), mean[i], sigma[i])
 	}

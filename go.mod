@@ -1,0 +1,3 @@
+module hybridplaw
+
+go 1.24

@@ -22,6 +22,8 @@
 package hybridplaw
 
 import (
+	"io"
+
 	"hybridplaw/internal/estimate"
 	"hybridplaw/internal/graph"
 	"hybridplaw/internal/hist"
@@ -192,6 +194,9 @@ const (
 	DestinationPackets = stream.DestinationPackets
 )
 
+// NumQuantities is the number of Fig. 1 network quantities.
+const NumQuantities = stream.NumQuantities
+
 // NewWindower returns a windower with window size nv.
 func NewWindower(nv int64) (*Windower, error) { return stream.NewWindower(nv) }
 
@@ -199,6 +204,64 @@ func NewWindower(nv int64) (*Windower, error) { return stream.NewWindower(nv) }
 func CutWindows(packets []Packet, nv int64) ([]*Window, error) {
 	return stream.Cut(packets, nv)
 }
+
+// PacketSource is a pull iterator over a packet trace; the input side of
+// the streaming pipeline.
+type PacketSource = stream.PacketSource
+
+// Sink consumes completed pipeline windows in strict window order.
+type Sink = stream.Sink
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink = stream.FuncSink
+
+// WindowResult is one completed pipeline window: Table I aggregates plus
+// all five Fig. 1 quantity histograms.
+type WindowResult = stream.WindowResult
+
+// PipelineConfig configures a streaming pipeline run.
+type PipelineConfig = stream.PipelineConfig
+
+// PipelineStats summarizes a pipeline run.
+type PipelineStats = stream.PipelineStats
+
+// EnsembleSink accumulates per-quantity cross-window ensembles and merged
+// histograms in O(log dmax) memory, with ZM/CSN/PALU fit finishers.
+type EnsembleSink = stream.EnsembleSink
+
+// ResultCollector is a Sink retaining every WindowResult (O(windows)
+// memory; the batch-compatibility bridge).
+type ResultCollector = stream.ResultCollector
+
+// SliceSource replays an in-memory packet slice through the pipeline.
+type SliceSource = stream.SliceSource
+
+// CSVSource streams a trace CSV through the pipeline in bounded memory.
+type CSVSource = stream.CSVSource
+
+// RunPipeline executes the single-pass streaming pipeline: packets are
+// pulled from src, cut into fixed-NV windows, reduced to all five Fig. 1
+// histograms on a bounded worker pool, and delivered to the sinks in
+// window order. At most Workers+1 windows are resident at any time.
+func RunPipeline(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, error) {
+	return stream.Run(src, cfg, sinks...)
+}
+
+// CollectPipelineWindows runs the pipeline and returns the frozen
+// windows, the batch-compatibility path.
+func CollectPipelineWindows(src PacketSource, cfg PipelineConfig) ([]*Window, PipelineStats, error) {
+	return stream.CollectWindows(src, cfg)
+}
+
+// NewSliceSource returns a source replaying the slice once.
+func NewSliceSource(packets []Packet) *SliceSource { return stream.NewSliceSource(packets) }
+
+// NewCSVSource returns a streaming reader over a trace CSV.
+func NewCSVSource(r io.Reader) *CSVSource { return stream.NewCSVSource(r) }
+
+// NewEnsembleSink returns a sink accumulating the given quantities (all
+// five when called with no arguments).
+func NewEnsembleSink(qs ...Quantity) *EnsembleSink { return stream.NewEnsembleSink(qs...) }
 
 // QuantityHistogram reduces a window to one quantity's degree histogram.
 func QuantityHistogram(w *Window, q Quantity) (*Histogram, error) {

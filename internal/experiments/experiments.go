@@ -43,23 +43,28 @@ type TableIResult struct {
 	// ParallelConsistent records that the parallel builder reproduced the
 	// serial aggregates.
 	ParallelConsistent bool
+	// StreamConsistent records that the pipeline's incrementally
+	// maintained aggregates match the frozen matrix's Table I.
+	StreamConsistent bool
 }
 
 type spmatAggregates struct {
 	ValidPackets, UniqueLinks, UniqueSources, UniqueDestinations int64
 }
 
-// RunTableI builds one traffic window and evaluates Table I both ways.
+// RunTableI streams one traffic window through the pipeline and evaluates
+// Table I three ways: incremental (builder), summation/matrix notation
+// (frozen matrix), and the parallel shard-merge rebuild.
 func RunTableI(seed uint64, nv int64) (TableIResult, error) {
 	site, err := netgen.NewSite(tableISite(seed))
 	if err != nil {
 		return TableIResult{}, err
 	}
-	wins, err := site.GenerateWindows(1, nv)
+	win, err := pipelineWindow(site, nv, true)
 	if err != nil {
 		return TableIResult{}, err
 	}
-	m := wins[0].Matrix
+	m := win.Matrix
 	agg := m.TableI()
 	mt := m.Transpose()
 	var res TableIResult
@@ -75,7 +80,23 @@ func RunTableI(seed uint64, nv int64) (TableIResult, error) {
 		mt.UniqueLinks() == agg.UniqueLinks
 	par := spmatParallelRebuild(m)
 	res.ParallelConsistent = par == res.Aggregates
+	res.StreamConsistent = win.Aggregates == agg
 	return res, nil
+}
+
+// pipelineWindow streams exactly one window of nv valid packets off a
+// site through the pipeline.
+func pipelineWindow(site *netgen.Site, nv int64, keepMatrix bool) (*stream.WindowResult, error) {
+	collector := &stream.ResultCollector{}
+	if _, err := stream.Run(site.PacketSource(), stream.PipelineConfig{
+		NV: nv, MaxWindows: 1, KeepMatrices: keepMatrix,
+	}, collector); err != nil {
+		return nil, err
+	}
+	if len(collector.Results) == 0 {
+		return nil, stream.ErrShortStream
+	}
+	return collector.Results[0], nil
 }
 
 func tableISite(seed uint64) netgen.SiteConfig {
@@ -95,23 +116,20 @@ type Figure1Result struct {
 	FracD1    []float64
 }
 
-// RunFigure1 computes all five Fig. 1 quantities on one window.
+// RunFigure1 computes all five Fig. 1 quantities on one window, in one
+// streaming pass through the pipeline.
 func RunFigure1(seed uint64, nv int64) (Figure1Result, error) {
 	site, err := netgen.NewSite(tableISite(seed))
 	if err != nil {
 		return Figure1Result{}, err
 	}
-	wins, err := site.GenerateWindows(1, nv)
-	if err != nil {
-		return Figure1Result{}, err
-	}
-	hists, err := stream.AllQuantities(wins[0])
+	win, err := pipelineWindow(site, nv, false)
 	if err != nil {
 		return Figure1Result{}, err
 	}
 	res := Figure1Result{NV: nv}
 	for _, q := range stream.Quantities {
-		h := hists[q]
+		h := win.Hists[q]
 		res.Quantity = append(res.Quantity, q.String())
 		res.Total = append(res.Total, h.Total())
 		res.MaxDegree = append(res.MaxDegree, h.MaxDegree())
@@ -180,30 +198,21 @@ type Figure3PanelResult struct {
 	FracD1 float64
 }
 
-// RunFigure3Panel regenerates one panel: windows → ensemble → ZM fit.
+// RunFigure3Panel regenerates one panel as a single streaming pass:
+// synthetic packet source → pipeline → cross-window ensemble sink → ZM
+// fit. Only one window is ever resident per worker.
 func RunFigure3Panel(spec netgen.PanelSpec) (Figure3PanelResult, error) {
 	site, err := netgen.NewSite(spec.Site)
 	if err != nil {
 		return Figure3PanelResult{}, err
 	}
-	wins, err := site.GenerateWindows(spec.Windows, spec.NV)
-	if err != nil {
+	sink := stream.NewEnsembleSink(spec.Quantity)
+	if _, err := stream.Run(site.PacketSource(), stream.PipelineConfig{
+		NV: spec.NV, MaxWindows: spec.Windows,
+	}, sink); err != nil {
 		return Figure3PanelResult{}, err
 	}
-	ens := hist.NewEnsemble()
-	merged := hist.New()
-	for _, w := range wins {
-		h, err := stream.QuantityHistogram(w, spec.Quantity)
-		if err != nil {
-			return Figure3PanelResult{}, err
-		}
-		merged.Merge(h)
-		pl, err := h.Pool()
-		if err != nil {
-			return Figure3PanelResult{}, err
-		}
-		ens.Add(pl)
-	}
+	ens, merged := sink.Ensemble(spec.Quantity), sink.Merged(spec.Quantity)
 	mean, sigma := ens.Mean(), ens.Sigma()
 	dmax := merged.MaxDegree()
 	fit, err := zipfmand.Fit(&hist.Pooled{D: mean, Total: merged.Total()}, dmax,

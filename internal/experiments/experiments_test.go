@@ -19,6 +19,9 @@ func TestRunTableI(t *testing.T) {
 	if !res.ParallelConsistent {
 		t.Error("parallel rebuild mismatch")
 	}
+	if !res.StreamConsistent {
+		t.Error("pipeline incremental aggregates diverge from matrix Table I")
+	}
 	if res.Aggregates.UniqueLinks <= 0 || res.Aggregates.UniqueSources <= 0 ||
 		res.Aggregates.UniqueDestinations <= 0 {
 		t.Errorf("degenerate aggregates: %+v", res.Aggregates)

@@ -20,17 +20,29 @@ import (
 // ErrEmpty indicates a histogram with no observations.
 var ErrEmpty = errors.New("hist: empty histogram")
 
-// Histogram is a degree histogram n(d): Counts[d] observations of degree d
-// for d >= 1. Degree 0 is excluded by construction (invisible nodes cannot
-// be observed in traffic, Section V).
+// denseLimit is the largest degree stored in the dense array. Under
+// power-law traffic the overwhelming majority of observations fall at
+// small degrees, so the inner accumulation loop is an array increment;
+// only the rare heavy tail (d > denseLimit) pays for a map operation.
+const denseLimit = 1024
+
+// Histogram is a degree histogram n(d): the number of observations of
+// degree d for d >= 1. Degree 0 is excluded by construction (invisible
+// nodes cannot be observed in traffic, Section V).
+//
+// The representation is hybrid: degrees 1..denseLimit live in a dense
+// array sized on demand, degrees above it in a sparse map allocated only
+// when the tail is first touched.
 type Histogram struct {
-	counts map[int]int64
+	dense  []int64       // dense[d-1] = n(d) for 1 <= d <= len(dense)
+	sparse map[int]int64 // n(d) for d > denseLimit; nil until needed
 	total  int64
+	maxDeg int // largest degree with a nonzero count ever added
 }
 
 // New returns an empty histogram.
 func New() *Histogram {
-	return &Histogram{counts: make(map[int]int64)}
+	return &Histogram{}
 }
 
 // FromCounts builds a histogram from a degree → count map. Non-positive
@@ -70,16 +82,47 @@ func (h *Histogram) AddN(d int, c int64) error {
 	if c == 0 {
 		return nil
 	}
-	h.counts[d] += c
-	h.total += c
+	h.add(d, c)
 	return nil
+}
+
+// add is AddN after validation: d >= 1, c > 0.
+func (h *Histogram) add(d int, c int64) {
+	if d <= denseLimit {
+		if d > len(h.dense) {
+			n := 2 * len(h.dense)
+			if n < d {
+				n = d
+			}
+			if n > denseLimit {
+				n = denseLimit
+			}
+			grown := make([]int64, n)
+			copy(grown, h.dense)
+			h.dense = grown
+		}
+		h.dense[d-1] += c
+	} else {
+		if h.sparse == nil {
+			h.sparse = make(map[int]int64)
+		}
+		h.sparse[d] += c
+	}
+	h.total += c
+	if d > h.maxDeg {
+		h.maxDeg = d
+	}
 }
 
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
-	for d, c := range other.counts {
-		h.counts[d] += c
-		h.total += c
+	for i, c := range other.dense {
+		if c != 0 {
+			h.add(i+1, c)
+		}
+	}
+	for d, c := range other.sparse {
+		h.add(d, c)
 	}
 }
 
@@ -87,27 +130,36 @@ func (h *Histogram) Merge(other *Histogram) {
 func (h *Histogram) Total() int64 { return h.total }
 
 // Count returns n(d).
-func (h *Histogram) Count(d int) int64 { return h.counts[d] }
+func (h *Histogram) Count(d int) int64 {
+	switch {
+	case d < 1:
+		return 0
+	case d <= len(h.dense):
+		return h.dense[d-1]
+	case d <= denseLimit:
+		return 0
+	default:
+		return h.sparse[d]
+	}
+}
 
 // MaxDegree returns dmax = argmax(n(d) > 0), the paper's Eq. (1) supernode
 // size measure, or 0 for an empty histogram.
-func (h *Histogram) MaxDegree() int {
-	maxD := 0
-	for d := range h.counts {
-		if d > maxD {
-			maxD = d
-		}
-	}
-	return maxD
-}
+func (h *Histogram) MaxDegree() int { return h.maxDeg }
 
 // Support returns the sorted degrees with nonzero counts.
 func (h *Histogram) Support() []int {
-	ds := make([]int, 0, len(h.counts))
-	for d := range h.counts {
+	ds := make([]int, 0, len(h.sparse))
+	for i, c := range h.dense {
+		if c != 0 {
+			ds = append(ds, i+1)
+		}
+	}
+	tail := len(ds)
+	for d := range h.sparse {
 		ds = append(ds, d)
 	}
-	sort.Ints(ds)
+	sort.Ints(ds[tail:])
 	return ds
 }
 
@@ -116,7 +168,7 @@ func (h *Histogram) Probability(d int) float64 {
 	if h.total == 0 {
 		return math.NaN()
 	}
-	return float64(h.counts[d]) / float64(h.total)
+	return float64(h.Count(d)) / float64(h.total)
 }
 
 // Probabilities returns the (degree, p(d)) pairs over the support, sorted
@@ -136,7 +188,14 @@ func (h *Histogram) CumulativeAt(d int) float64 {
 		return math.NaN()
 	}
 	var cum int64
-	for deg, c := range h.counts {
+	top := d
+	if top > len(h.dense) {
+		top = len(h.dense)
+	}
+	for i := 0; i < top; i++ {
+		cum += h.dense[i]
+	}
+	for deg, c := range h.sparse {
 		if deg <= d {
 			cum += c
 		}
@@ -196,7 +255,12 @@ func (h *Histogram) Pool() (*Pooled, error) {
 	}
 	nbins := BinIndex(h.MaxDegree()) + 1
 	d := make([]float64, nbins)
-	for deg, c := range h.counts {
+	for i, c := range h.dense {
+		if c != 0 {
+			d[BinIndex(i+1)] += float64(c) / float64(h.total)
+		}
+	}
+	for deg, c := range h.sparse {
 		d[BinIndex(deg)] += float64(c) / float64(h.total)
 	}
 	return &Pooled{D: d, Total: h.total}, nil

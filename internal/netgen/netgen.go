@@ -163,35 +163,76 @@ func (s *Site) ObservationPass(rng *xrand.RNG) []stream.Packet {
 	return packets
 }
 
-// GenerateWindows runs observation passes until numWindows windows of
-// exactly nv valid packets have been cut, and returns them. It fails if a
-// single pass produces no valid packets (degenerate configuration).
-func (s *Site) GenerateWindows(numWindows int, nv int64) ([]*stream.Window, error) {
-	if numWindows <= 0 {
-		return nil, errors.New("netgen: numWindows must be positive")
-	}
-	w, err := stream.NewWindower(nv)
-	if err != nil {
-		return nil, err
-	}
-	var wins []*stream.Window
-	for len(wins) < numWindows {
-		pass := s.ObservationPass(s.rng.Split())
+// siteSource lazily replays consecutive observation passes of a Site as
+// a packet stream: the synthetic counterpart of an unbounded observatory
+// tap. Only one pass is ever materialized, so a trace of any length
+// streams in memory independent of its duration.
+type siteSource struct {
+	site *Site
+	buf  []stream.Packet
+	i    int
+	err  error
+}
+
+// PacketSource returns a stream.PacketSource that generates observation
+// passes on demand from the site's own RNG, forever. Consecutive windows
+// cut from it re-sample the same underlying network, reproducing the
+// paper's consecutive-window ensemble methodology; bound consumption
+// with stream.PipelineConfig.MaxWindows. The stream terminates with an
+// error if a pass produces no valid packets (degenerate configuration).
+//
+// The source draws from the site's RNG state: interleaving two sources
+// of one site, or a source with GenerateWindows calls, interleaves their
+// sampling.
+func (s *Site) PacketSource() stream.PacketSource {
+	return &siteSource{site: s}
+}
+
+// Next implements stream.PacketSource.
+func (ss *siteSource) Next() (stream.Packet, bool) {
+	for ss.i >= len(ss.buf) {
+		if ss.err != nil {
+			return stream.Packet{}, false
+		}
+		pass := ss.site.ObservationPass(ss.site.rng.Split())
 		valid := 0
 		for _, p := range pass {
 			if p.Valid {
 				valid++
 			}
-			if win := w.Push(p); win != nil {
-				wins = append(wins, win)
-				if len(wins) == numWindows {
-					break
-				}
-			}
 		}
 		if valid == 0 {
-			return nil, errors.New("netgen: observation pass produced no valid packets")
+			ss.err = errors.New("netgen: observation pass produced no valid packets")
+			return stream.Packet{}, false
 		}
+		ss.buf, ss.i = pass, 0
+	}
+	p := ss.buf[ss.i]
+	ss.i++
+	return p, true
+}
+
+// Err implements stream.PacketSource.
+func (ss *siteSource) Err() error { return ss.err }
+
+// GenerateWindows runs observation passes until numWindows windows of
+// exactly nv valid packets have been cut, and returns them. It fails if a
+// single pass produces no valid packets (degenerate configuration).
+//
+// It is a batch wrapper over PacketSource and the streaming pipeline;
+// passes beyond the one that closes the final window are not generated,
+// so the site's RNG advances exactly as far as the returned windows
+// require.
+func (s *Site) GenerateWindows(numWindows int, nv int64) ([]*stream.Window, error) {
+	if numWindows <= 0 {
+		return nil, errors.New("netgen: numWindows must be positive")
+	}
+	wins, _, err := stream.CollectWindows(s.PacketSource(), stream.PipelineConfig{
+		NV:         nv,
+		MaxWindows: numWindows,
+	})
+	if err != nil {
+		return nil, err
 	}
 	return wins, nil
 }

@@ -33,13 +33,31 @@ type Entry struct {
 
 // Builder accumulates packet observations into a sparse matrix. It is the
 // COO/DOK accumulation stage; Build freezes it into an immutable Matrix.
+//
+// The builder also maintains every Fig. 1 reduction incrementally while
+// packets arrive: per-source and per-destination packet totals, fan-out
+// and fan-in (which advance exactly when a link count goes 0 → 1), and
+// the Table I aggregates. A streaming consumer therefore never needs a
+// post-hoc scan over a frozen Matrix, and a Reset lets one builder be
+// pooled across windows without reallocating its maps.
 type Builder struct {
 	counts map[[2]uint32]int64
+	srcPk  map[uint32]int64 // packets sent per source (row sums)
+	dstPk  map[uint32]int64 // packets received per destination (column sums)
+	fanOut map[uint32]int64 // unique destinations per source
+	fanIn  map[uint32]int64 // unique sources per destination
+	total  int64
 }
 
 // NewBuilder returns an empty accumulation builder.
 func NewBuilder() *Builder {
-	return &Builder{counts: make(map[[2]uint32]int64)}
+	return &Builder{
+		counts: make(map[[2]uint32]int64),
+		srcPk:  make(map[uint32]int64),
+		dstPk:  make(map[uint32]int64),
+		fanOut: make(map[uint32]int64),
+		fanIn:  make(map[uint32]int64),
+	}
 }
 
 // Add accumulates n packets from src to dst. n must be positive.
@@ -47,25 +65,89 @@ func (b *Builder) Add(src, dst uint32, n int64) error {
 	if n <= 0 {
 		return errors.New("spmat: non-positive packet count")
 	}
-	b.counts[[2]uint32{src, dst}] += n
+	b.addN(src, dst, n)
 	return nil
 }
 
 // AddPacket accumulates a single packet from src to dst.
-func (b *Builder) AddPacket(src, dst uint32) {
-	b.counts[[2]uint32{src, dst}]++
+func (b *Builder) AddPacket(src, dst uint32) { b.addN(src, dst, 1) }
+
+// addN is the unchecked accumulation core: n > 0.
+func (b *Builder) addN(src, dst uint32, n int64) {
+	k := [2]uint32{src, dst}
+	c := b.counts[k]
+	b.counts[k] = c + n
+	if c == 0 { // new unique link
+		b.fanOut[src]++
+		b.fanIn[dst]++
+	}
+	b.srcPk[src] += n
+	b.dstPk[dst] += n
+	b.total += n
 }
 
 // Merge folds another builder's counts into b. The other builder remains
 // valid; Merge is the reduction step of the parallel shard builders.
 func (b *Builder) Merge(other *Builder) {
 	for k, v := range other.counts {
-		b.counts[k] += v
+		b.addN(k[0], k[1], v)
 	}
+}
+
+// Reset empties the builder for reuse, retaining the allocated map
+// capacity: the pipeline's per-window allocation-churn killer.
+func (b *Builder) Reset() {
+	clear(b.counts)
+	clear(b.srcPk)
+	clear(b.dstPk)
+	clear(b.fanOut)
+	clear(b.fanIn)
+	b.total = 0
 }
 
 // NNZ returns the number of distinct (src, dst) links accumulated so far.
 func (b *Builder) NNZ() int { return len(b.counts) }
+
+// Total returns the number of packets accumulated so far (= NV at window
+// close).
+func (b *Builder) Total() int64 { return b.total }
+
+// Aggregates returns the Table I aggregate properties of the accumulated
+// window in O(1), from the incrementally maintained state.
+func (b *Builder) Aggregates() Aggregates {
+	return Aggregates{
+		ValidPackets:       b.total,
+		UniqueLinks:        int64(len(b.counts)),
+		UniqueSources:      int64(len(b.srcPk)),
+		UniqueDestinations: int64(len(b.dstPk)),
+	}
+}
+
+// SourcePackets returns the per-source packet totals accumulated so far
+// (the "source packets" reduction of Fig. 1). The map is the builder's
+// live internal state: callers must not modify or retain it across
+// further Add/Reset calls.
+func (b *Builder) SourcePackets() map[uint32]int64 { return b.srcPk }
+
+// SourceFanOut returns the per-source unique-destination counts ("source
+// fan-out"). Same sharing contract as SourcePackets.
+func (b *Builder) SourceFanOut() map[uint32]int64 { return b.fanOut }
+
+// DestinationFanIn returns the per-destination unique-source counts
+// ("destination fan-in"). Same sharing contract as SourcePackets.
+func (b *Builder) DestinationFanIn() map[uint32]int64 { return b.fanIn }
+
+// DestinationPackets returns the per-destination packet totals
+// ("destination packets"). Same sharing contract as SourcePackets.
+func (b *Builder) DestinationPackets() map[uint32]int64 { return b.dstPk }
+
+// ForEachLink calls f for every accumulated unique link and its packet
+// count (the "link packets" reduction of Fig. 1), in unspecified order.
+func (b *Builder) ForEachLink(f func(src, dst uint32, count int64)) {
+	for k, v := range b.counts {
+		f(k[0], k[1], v)
+	}
+}
 
 // Build freezes the accumulated counts into an immutable CSR-ordered
 // Matrix. The builder can continue to accumulate afterwards.
@@ -264,7 +346,7 @@ func ParallelBuild(packets []Entry, workers int) *Matrix {
 	if workers <= 1 {
 		b := NewBuilder()
 		for _, p := range packets {
-			b.counts[[2]uint32{p.Src, p.Dst}] += p.Count
+			b.addN(p.Src, p.Dst, p.Count)
 		}
 		return b.Build()
 	}
@@ -286,7 +368,7 @@ func ParallelBuild(packets []Entry, workers int) *Matrix {
 			defer wg.Done()
 			b := NewBuilder()
 			for _, p := range packets[lo:hi] {
-				b.counts[[2]uint32{p.Src, p.Dst}] += p.Count
+				b.addN(p.Src, p.Dst, p.Count)
 			}
 			shards[w] = b
 		}(w, lo, hi)

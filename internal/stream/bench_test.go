@@ -1,0 +1,120 @@
+package stream
+
+// Benchmarks contrasting the legacy batch path (serial windower → frozen
+// matrices → per-quantity post-hoc reductions → ensembles) with the
+// single-pass streaming pipeline on multi-million-packet synthetic
+// traces. Run with:
+//
+//	go test ./internal/stream -bench 'BatchVsPipeline' -benchtime 1x
+//
+// The pipeline target is ≥2× batch throughput with O(workers) window
+// residency; the batch path holds every window's matrix concurrently.
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/xrand"
+)
+
+// legacyBatch is the pre-pipeline measurement path, reproduced verbatim:
+// cut every window into a frozen matrix, then reduce each quantity from
+// the matrices, then pool the ensembles.
+func legacyBatch(b *testing.B, ps []Packet, nv int64) [NumQuantities]*hist.Ensemble {
+	w, err := NewWindower(nv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wins []*Window
+	for _, p := range ps {
+		if win := w.Push(p); win != nil {
+			wins = append(wins, win)
+		}
+	}
+	var ens [NumQuantities]*hist.Ensemble
+	for _, q := range Quantities {
+		ens[q] = hist.NewEnsemble()
+	}
+	for _, win := range wins {
+		for _, q := range Quantities {
+			h, err := QuantityHistogram(win, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := h.Pool()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ens[q].Add(p)
+		}
+	}
+	return ens
+}
+
+// benchTrace synthesizes a heavy-tailed-ish trace: sources and
+// destinations drawn from a large sparse id space with a hot head, 2%
+// invalid packets — the shape the observatory pipeline actually sees.
+func benchTrace(n int) []Packet {
+	r := xrand.New(1)
+	ps := make([]Packet, n)
+	for i := range ps {
+		// Mix a hot head (frequent talkers) with a long sparse tail.
+		var src, dst uint32
+		if r.Bernoulli(0.3) {
+			src, dst = uint32(r.Intn(1<<10)), uint32(r.Intn(1<<10))
+		} else {
+			src, dst = uint32(r.Intn(1<<20)), uint32(r.Intn(1<<20))
+		}
+		ps[i] = Packet{Src: src, Dst: dst, Valid: i%50 != 0}
+	}
+	return ps
+}
+
+func BenchmarkBatchVsPipeline(b *testing.B) {
+	for _, cfg := range []struct {
+		packets int
+		nv      int64
+	}{
+		{1_000_000, 100_000},
+		{10_000_000, 1_000_000},
+	} {
+		ps := benchTrace(cfg.packets)
+		label := fmt.Sprintf("%dM", cfg.packets/1_000_000)
+		b.Run("batch-"+label, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				legacyBatch(b, ps, cfg.nv)
+			}
+			b.ReportMetric(float64(cfg.packets)*float64(b.N)/b.Elapsed().Seconds(), "packets/s")
+		})
+		b.Run("pipeline-"+label, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink := NewEnsembleSink()
+				if _, err := Run(NewSliceSource(ps), PipelineConfig{NV: cfg.nv}, sink); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cfg.packets)*float64(b.N)/b.Elapsed().Seconds(), "packets/s")
+		})
+	}
+}
+
+// BenchmarkPipelineWorkers shows throughput scaling with the worker pool
+// (and therefore with the windows+1 memory bound).
+func BenchmarkPipelineWorkers(b *testing.B) {
+	ps := benchTrace(2_000_000)
+	const nv = 100_000
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink := NewEnsembleSink()
+				if _, err := Run(NewSliceSource(ps), PipelineConfig{NV: nv, Workers: workers}, sink); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(ps))*float64(b.N)/b.Elapsed().Seconds(), "packets/s")
+		})
+	}
+}

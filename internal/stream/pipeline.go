@@ -1,0 +1,446 @@
+package stream
+
+// The single-pass streaming pipeline engine. The batch helpers of
+// stream.go materialize every window; this file is the bounded-memory
+// path the paper's premise ("large scale streaming network data")
+// actually demands:
+//
+//	PacketSource → fixed-NV windower → bounded worker pool → Sinks
+//
+// Packets are pulled one at a time from a PacketSource iterator; the
+// ingest loop does nothing but filter invalid packets and buffer valid
+// ones into a pooled window chunk, so the serial stage is branch-and-copy
+// cheap. Each completed window is fanned out to a fixed worker pool. A
+// worker owns one spmat.Builder for its lifetime: it replays the chunk
+// through Builder.AddPacket — which maintains every Fig. 1 reduction
+// incrementally — then converts that state into the five quantity
+// histograms in a single pass (no frozen Matrix, no sort, no post-hoc
+// map scans), resets the builder with its maps still warm, and returns
+// the chunk to the pool. A consumer goroutine re-orders completed
+// windows and feeds each Sink in strict window order, so every sink
+// observes exactly the sequence a serial batch pass would produce. At no
+// point are more than workers+1 windows resident in memory, regardless
+// of trace length.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hybridplaw/internal/estimate"
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/powerlaw"
+	"hybridplaw/internal/spmat"
+	"hybridplaw/internal/zipfmand"
+)
+
+// PacketSource is a pull iterator over a packet trace. Implementations
+// are typically lazy (CSV decoding, synthetic generation) so arbitrarily
+// long traces stream in bounded memory.
+type PacketSource interface {
+	// Next returns the next packet. ok = false ends the stream; the
+	// consumer must then check Err for the cause.
+	Next() (p Packet, ok bool)
+	// Err reports the error that terminated the stream, if any. It is
+	// meaningful only after Next has returned ok = false.
+	Err() error
+}
+
+// SliceSource adapts an in-memory packet slice to PacketSource.
+type SliceSource struct {
+	packets []Packet
+	i       int
+}
+
+// NewSliceSource returns a source that replays the slice once.
+func NewSliceSource(packets []Packet) *SliceSource {
+	return &SliceSource{packets: packets}
+}
+
+// Next implements PacketSource.
+func (s *SliceSource) Next() (Packet, bool) {
+	if s.i >= len(s.packets) {
+		return Packet{}, false
+	}
+	p := s.packets[s.i]
+	s.i++
+	return p, true
+}
+
+// Err implements PacketSource; a slice cannot fail.
+func (s *SliceSource) Err() error { return nil }
+
+// WindowResult is one completed window as produced by the pipeline: the
+// Table I aggregates and all five Fig. 1 quantity histograms, computed in
+// a single pass over the window's incremental builder state.
+type WindowResult struct {
+	// T is the window index (the paper's time t).
+	T int
+	// NV is the number of valid packets aggregated.
+	NV int64
+	// Aggregates are the Table I aggregate properties.
+	Aggregates spmat.Aggregates
+	// Hists holds the degree histogram of each Fig. 1 quantity, indexed
+	// by Quantity.
+	Hists [NumQuantities]*hist.Histogram
+	// Matrix is the frozen sparse traffic matrix At, populated only when
+	// PipelineConfig.KeepMatrices is set (it is the one per-window
+	// product whose construction is not O(1)-memory friendly).
+	Matrix *spmat.Matrix
+}
+
+// Hist returns the histogram of quantity q, or nil for an invalid q.
+func (r *WindowResult) Hist(q Quantity) *hist.Histogram {
+	if q < 0 || int(q) >= NumQuantities {
+		return nil
+	}
+	return r.Hists[q]
+}
+
+// Sink consumes completed windows in strict window order (T = 0, 1, ...).
+// A non-nil error cancels the pipeline.
+type Sink interface {
+	ConsumeWindow(*WindowResult) error
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(*WindowResult) error
+
+// ConsumeWindow implements Sink.
+func (f FuncSink) ConsumeWindow(res *WindowResult) error { return f(res) }
+
+// ResultCollector is a Sink that retains every WindowResult. It is the
+// bridge back to batch-style code and is inherently O(windows) memory —
+// prefer streaming sinks for long traces.
+type ResultCollector struct {
+	Results []*WindowResult
+}
+
+// ConsumeWindow implements Sink.
+func (c *ResultCollector) ConsumeWindow(res *WindowResult) error {
+	c.Results = append(c.Results, res)
+	return nil
+}
+
+// PipelineConfig configures a pipeline run.
+type PipelineConfig struct {
+	// NV is the window size in valid packets (required, positive).
+	NV int64
+	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS. Window
+	// residency is bounded by Workers+1.
+	Workers int
+	// MaxWindows stops the pipeline after that many complete windows;
+	// <= 0 streams until the source is exhausted. With a MaxWindows
+	// bound the source is not consumed past the closing packet of the
+	// final window.
+	MaxWindows int
+	// KeepMatrices populates WindowResult.Matrix with the frozen
+	// spmat.Matrix of each window. Off by default: the matrix is the one
+	// product that requires a sort and a fresh allocation per window.
+	KeepMatrices bool
+}
+
+// PipelineStats summarizes a pipeline run.
+type PipelineStats struct {
+	// Windows is the number of complete windows delivered to the sinks.
+	Windows int
+	// ValidPackets and InvalidPackets count the packets ingested.
+	ValidPackets, InvalidPackets int64
+	// DiscardedTail is the number of valid packets in the trailing
+	// incomplete window, discarded per the fixed-NV methodology.
+	DiscardedTail int64
+}
+
+// Run executes the streaming pipeline: it ingests packets from src on
+// the calling goroutine, cuts fixed-NV windows, reduces each completed
+// window on a bounded worker pool, and feeds the results to the sinks in
+// window order. It returns when the source is exhausted, MaxWindows is
+// reached, the source fails, or a sink returns an error.
+func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, error) {
+	var stats PipelineStats
+	if src == nil {
+		return stats, errors.New("stream: nil packet source")
+	}
+	if cfg.NV <= 0 {
+		return stats, errors.New("stream: window size NV must be positive")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxWindows > 0 && workers > cfg.MaxWindows {
+		workers = cfg.MaxWindows // never more workers than windows to reduce
+	}
+
+	type job struct {
+		t       int
+		packets []Packet // exactly NV valid packets
+	}
+	type outcome struct {
+		t   int
+		res *WindowResult
+		err error
+	}
+
+	// The chunk pool is the memory bound: workers+1 window-sized packet
+	// buffers exist for the lifetime of the run (one filling, up to
+	// workers being reduced).
+	free := make(chan []Packet, workers+1)
+	for i := 0; i < workers+1; i++ {
+		free <- make([]Packet, 0, cfg.NV)
+	}
+	jobs := make(chan job)
+	results := make(chan outcome, workers)
+	stop := make(chan struct{}) // closed once on the first consumer-side error
+
+	// Each worker owns one builder for the whole run; Reset keeps its map
+	// storage warm across windows, killing per-window allocation churn.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := spmat.NewBuilder()
+			for j := range jobs {
+				for _, p := range j.packets {
+					b.AddPacket(p.Src, p.Dst)
+				}
+				res, err := reduceWindow(j.t, b, cfg.KeepMatrices)
+				b.Reset()
+				free <- j.packets[:0] // capacity workers+1: never blocks
+				results <- outcome{t: j.t, res: res, err: err}
+			}
+		}()
+	}
+
+	// The consumer re-orders worker completions into window order and
+	// feeds the sinks sequentially, so sinks observe windows exactly as
+	// a serial batch pass would. At most `workers` results are pending.
+	var consumeErr error
+	delivered := 0
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		pending := make(map[int]*WindowResult, workers)
+		next := 0
+		for r := range results {
+			if consumeErr != nil {
+				continue // drain so workers never block
+			}
+			if r.err != nil {
+				consumeErr = r.err
+				close(stop)
+				continue
+			}
+			pending[r.t] = r.res
+			for consumeErr == nil {
+				res, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				for _, s := range sinks {
+					if err := s.ConsumeWindow(res); err != nil {
+						consumeErr = err
+						close(stop)
+						break
+					}
+				}
+				if consumeErr == nil {
+					delivered++
+				}
+			}
+		}
+	}()
+
+	// Ingest loop, on the caller's goroutine: filter, buffer, hand off.
+	chunk := <-free
+	t := 0
+ingest:
+	for {
+		p, ok := src.Next()
+		if !ok {
+			break
+		}
+		if !p.Valid {
+			stats.InvalidPackets++
+			continue
+		}
+		chunk = append(chunk, p)
+		stats.ValidPackets++
+		if int64(len(chunk)) < cfg.NV {
+			continue
+		}
+		select {
+		case jobs <- job{t: t, packets: chunk}:
+		case <-stop:
+			break ingest
+		}
+		chunk = nil
+		t++
+		if cfg.MaxWindows > 0 && t >= cfg.MaxWindows {
+			break
+		}
+		select {
+		case chunk = <-free:
+		case <-stop:
+			break ingest
+		}
+	}
+	stats.DiscardedTail = int64(len(chunk))
+	close(jobs)
+	wg.Wait()
+	close(results)
+	<-consumerDone
+
+	stats.Windows = delivered // reading after consumerDone: no race
+	if consumeErr != nil {
+		return stats, consumeErr
+	}
+	if err := src.Err(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// reduceWindow converts a closed window's builder state into a
+// WindowResult: all five Fig. 1 histograms in one pass over the
+// incremental reductions, no intermediate Matrix required.
+func reduceWindow(t int, b *spmat.Builder, keepMatrix bool) (*WindowResult, error) {
+	res := &WindowResult{T: t, NV: b.Total(), Aggregates: b.Aggregates()}
+	var err error
+	if res.Hists[SourcePackets], err = histFromMap(b.SourcePackets()); err != nil {
+		return nil, err
+	}
+	if res.Hists[SourceFanOut], err = histFromMap(b.SourceFanOut()); err != nil {
+		return nil, err
+	}
+	if res.Hists[DestinationFanIn], err = histFromMap(b.DestinationFanIn()); err != nil {
+		return nil, err
+	}
+	if res.Hists[DestinationPackets], err = histFromMap(b.DestinationPackets()); err != nil {
+		return nil, err
+	}
+	lp := hist.New()
+	b.ForEachLink(func(_, _ uint32, n int64) {
+		if e := lp.AddN(int(n), 1); e != nil && err == nil {
+			err = e
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Hists[LinkPackets] = lp
+	if keepMatrix {
+		res.Matrix = b.Build()
+	}
+	return res, nil
+}
+
+// CollectWindows runs the pipeline with a window-collecting sink and
+// returns the frozen windows: the batch-compatibility path (O(windows)
+// memory, matrices retained).
+func CollectWindows(src PacketSource, cfg PipelineConfig) ([]*Window, PipelineStats, error) {
+	cfg.KeepMatrices = true
+	var wins []*Window
+	stats, err := Run(src, cfg, FuncSink(func(res *WindowResult) error {
+		wins = append(wins, &Window{T: res.T, Matrix: res.Matrix, NV: res.NV})
+		return nil
+	}))
+	if err != nil {
+		return nil, stats, err
+	}
+	return wins, stats, nil
+}
+
+// EnsembleSink accumulates, per selected quantity, the cross-window
+// pooled ensemble (mean D(di) and σ(di), the ±1σ error bars of Fig. 3)
+// and the merged histogram across all windows. Memory is O(log dmax) per
+// quantity — independent of trace length.
+type EnsembleSink struct {
+	qs     []Quantity
+	ens    [NumQuantities]*hist.Ensemble
+	merged [NumQuantities]*hist.Histogram
+}
+
+// NewEnsembleSink returns a sink accumulating the given quantities; with
+// no arguments it accumulates all five. Invalid quantities panic.
+func NewEnsembleSink(qs ...Quantity) *EnsembleSink {
+	if len(qs) == 0 {
+		qs = Quantities
+	}
+	s := &EnsembleSink{qs: append([]Quantity(nil), qs...)}
+	for _, q := range s.qs {
+		if q < 0 || int(q) >= NumQuantities {
+			panic(fmt.Sprintf("stream: invalid quantity %d", int(q)))
+		}
+		s.ens[q] = hist.NewEnsemble()
+		s.merged[q] = hist.New()
+	}
+	return s
+}
+
+// ConsumeWindow implements Sink.
+func (s *EnsembleSink) ConsumeWindow(res *WindowResult) error {
+	for _, q := range s.qs {
+		h := res.Hists[q]
+		s.merged[q].Merge(h)
+		p, err := h.Pool()
+		if err != nil {
+			return fmt.Errorf("stream: window %d, %v: %w", res.T, q, err)
+		}
+		s.ens[q].Add(p)
+	}
+	return nil
+}
+
+// Ensemble returns the cross-window ensemble of q (nil if q was not
+// accumulated).
+func (s *EnsembleSink) Ensemble(q Quantity) *hist.Ensemble {
+	if q < 0 || int(q) >= NumQuantities {
+		return nil
+	}
+	return s.ens[q]
+}
+
+// Merged returns the all-windows merged histogram of q (nil if q was not
+// accumulated).
+func (s *EnsembleSink) Merged(q Quantity) *hist.Histogram {
+	if q < 0 || int(q) >= NumQuantities {
+		return nil
+	}
+	return s.merged[q]
+}
+
+// FitZM fits the modified Zipf–Mandelbrot model to the cross-window mean
+// pooled distribution of q (the black fit line of Fig. 3).
+func (s *EnsembleSink) FitZM(q Quantity, opts zipfmand.FitOptions) (zipfmand.FitResult, error) {
+	ens, merged := s.Ensemble(q), s.Merged(q)
+	if ens == nil || ens.Windows() == 0 {
+		return zipfmand.FitResult{}, fmt.Errorf("stream: no windows accumulated for %v", q)
+	}
+	return zipfmand.Fit(&hist.Pooled{D: ens.Mean(), Total: merged.Total()},
+		merged.MaxDegree(), opts)
+}
+
+// FitPowerLaw runs the Clauset–Shalizi–Newman single power-law baseline
+// on the merged histogram of q.
+func (s *EnsembleSink) FitPowerLaw(q Quantity) (powerlaw.Fit, error) {
+	merged := s.Merged(q)
+	if merged == nil || merged.Total() == 0 {
+		return powerlaw.Fit{}, fmt.Errorf("stream: no windows accumulated for %v", q)
+	}
+	return powerlaw.FitScan(merged, 0)
+}
+
+// EstimatePALU runs the Section IV.B estimator pipeline on the merged
+// histogram of q.
+func (s *EnsembleSink) EstimatePALU(q Quantity, opts estimate.Options) (estimate.Result, error) {
+	merged := s.Merged(q)
+	if merged == nil || merged.Total() == 0 {
+		return estimate.Result{}, fmt.Errorf("stream: no windows accumulated for %v", q)
+	}
+	return estimate.Estimate(merged, opts)
+}

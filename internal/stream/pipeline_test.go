@@ -1,0 +1,347 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/zipfmand"
+)
+
+// referenceWindows is the legacy serial batch path: one windower, one
+// Push per packet. The pipeline must reproduce it exactly.
+func referenceWindows(t testing.TB, ps []Packet, nv int64) []*Window {
+	t.Helper()
+	w, err := NewWindower(nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wins []*Window
+	for _, p := range ps {
+		if win := w.Push(p); win != nil {
+			wins = append(wins, win)
+		}
+	}
+	return wins
+}
+
+// referenceEnsembles builds the per-quantity ensembles and merged
+// histograms the way the legacy batch code did: window by window, in
+// order, from the frozen matrices.
+func referenceEnsembles(t testing.TB, wins []*Window) (ens [NumQuantities]*hist.Ensemble, merged [NumQuantities]*hist.Histogram) {
+	t.Helper()
+	for _, q := range Quantities {
+		ens[q] = hist.NewEnsemble()
+		merged[q] = hist.New()
+	}
+	for _, w := range wins {
+		for _, q := range Quantities {
+			h, err := QuantityHistogram(w, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged[q].Merge(h)
+			p, err := h.Pool()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ens[q].Add(p)
+		}
+	}
+	return ens, merged
+}
+
+func TestPipelineMatchesBatchReference(t *testing.T) {
+	const nv = 1000
+	for seed := uint64(1); seed <= 5; seed++ {
+		ps := mkPackets(seed, 30000, 200, 7)
+		refWins := referenceWindows(t, ps, nv)
+		refEns, refMerged := referenceEnsembles(t, refWins)
+
+		collector := &ResultCollector{}
+		ensSink := NewEnsembleSink()
+		stats, err := Run(NewSliceSource(ps), PipelineConfig{NV: nv, KeepMatrices: true},
+			collector, ensSink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Windows != len(refWins) {
+			t.Fatalf("seed %d: pipeline windows = %d, reference = %d",
+				seed, stats.Windows, len(refWins))
+		}
+		for i, res := range collector.Results {
+			ref := refWins[i]
+			if res.T != ref.T || res.NV != ref.NV {
+				t.Fatalf("seed %d window %d: T/NV mismatch", seed, i)
+			}
+			if !reflect.DeepEqual(res.Matrix.Entries(), ref.Matrix.Entries()) {
+				t.Fatalf("seed %d window %d: matrices differ", seed, i)
+			}
+			if res.Aggregates != ref.Matrix.TableI() {
+				t.Fatalf("seed %d window %d: incremental aggregates %+v != matrix %+v",
+					seed, i, res.Aggregates, ref.Matrix.TableI())
+			}
+			refAll, err := AllQuantities(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range Quantities {
+				if !histEqual(refAll[q], res.Hists[q]) {
+					t.Fatalf("seed %d window %d: %v histogram differs", seed, i, q)
+				}
+			}
+		}
+		for _, q := range Quantities {
+			if !reflect.DeepEqual(refEns[q].Mean(), ensSink.Ensemble(q).Mean()) {
+				t.Fatalf("seed %d: %v ensemble mean differs", seed, q)
+			}
+			if !reflect.DeepEqual(refEns[q].Sigma(), ensSink.Ensemble(q).Sigma()) {
+				t.Fatalf("seed %d: %v ensemble sigma differs", seed, q)
+			}
+			if !histEqual(refMerged[q], ensSink.Merged(q)) {
+				t.Fatalf("seed %d: %v merged histogram differs", seed, q)
+			}
+		}
+	}
+}
+
+func TestPipelineWorkerCountsAgree(t *testing.T) {
+	ps := mkPackets(11, 20000, 128, 5)
+	const nv = 500
+	var baseline *EnsembleSink
+	for _, workers := range []int{1, 2, 3, 8} {
+		sink := NewEnsembleSink()
+		if _, err := Run(NewSliceSource(ps), PipelineConfig{NV: nv, Workers: workers}, sink); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if baseline == nil {
+			baseline = sink
+			continue
+		}
+		for _, q := range Quantities {
+			if !reflect.DeepEqual(baseline.Ensemble(q).Mean(), sink.Ensemble(q).Mean()) {
+				t.Errorf("workers=%d: %v ensemble differs from workers=1", workers, q)
+			}
+		}
+	}
+}
+
+func TestPipelineStats(t *testing.T) {
+	// 1000 packets, every 2nd invalid: 500 valid. NV=200 -> 2 windows,
+	// 100 valid packets discarded in the tail.
+	ps := mkPackets(3, 1000, 50, 2)
+	stats, err := Run(NewSliceSource(ps), PipelineConfig{NV: 200}, &ResultCollector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows != 2 {
+		t.Errorf("windows = %d, want 2", stats.Windows)
+	}
+	if stats.ValidPackets != 500 || stats.InvalidPackets != 500 {
+		t.Errorf("valid/invalid = %d/%d, want 500/500", stats.ValidPackets, stats.InvalidPackets)
+	}
+	if stats.DiscardedTail != 100 {
+		t.Errorf("discarded tail = %d, want 100", stats.DiscardedTail)
+	}
+}
+
+func TestPipelineMaxWindowsStopsReading(t *testing.T) {
+	ps := mkPackets(4, 10000, 64, 0)
+	src := NewSliceSource(ps)
+	stats, err := Run(src, PipelineConfig{NV: 1000, MaxWindows: 2}, &ResultCollector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows != 2 {
+		t.Fatalf("windows = %d, want 2", stats.Windows)
+	}
+	// The source must not be consumed past the packet that closed the
+	// final window: bounded read-ahead, no draining.
+	if src.i != 2000 {
+		t.Errorf("source consumed %d packets, want exactly 2000", src.i)
+	}
+	if stats.DiscardedTail != 0 {
+		t.Errorf("discarded tail = %d, want 0 under MaxWindows", stats.DiscardedTail)
+	}
+}
+
+func TestPipelineShortStream(t *testing.T) {
+	ps := mkPackets(5, 100, 20, 0)
+	stats, err := Run(NewSliceSource(ps), PipelineConfig{NV: 1000}, &ResultCollector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows != 0 {
+		t.Errorf("windows = %d", stats.Windows)
+	}
+	if stats.DiscardedTail != 100 {
+		t.Errorf("discarded tail = %d, want 100", stats.DiscardedTail)
+	}
+}
+
+func TestPipelineRejectsBadConfig(t *testing.T) {
+	if _, err := Run(nil, PipelineConfig{NV: 10}); err == nil {
+		t.Error("nil source: expected error")
+	}
+	if _, err := Run(NewSliceSource(nil), PipelineConfig{NV: 0}); err == nil {
+		t.Error("NV=0: expected error")
+	}
+}
+
+func TestPipelineSinkErrorCancels(t *testing.T) {
+	ps := mkPackets(6, 50000, 64, 0)
+	src := NewSliceSource(ps)
+	boom := errors.New("boom")
+	windows := 0
+	_, err := Run(src, PipelineConfig{NV: 100}, FuncSink(func(res *WindowResult) error {
+		windows++
+		if windows == 3 {
+			return boom
+		}
+		return nil
+	}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if src.i == len(ps) {
+		t.Error("sink error did not stop ingestion early")
+	}
+}
+
+func TestPipelineSourceErrorPropagates(t *testing.T) {
+	// A malformed line mid-trace must surface with its line number.
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, mkPackets(7, 500, 16, 0)); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(buf.String(), "\n", "\nbogus line here\n", 1)
+	_, err := Run(NewCSVSource(strings.NewReader(corrupted)), PipelineConfig{NV: 100}, &ResultCollector{})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse error", err)
+	}
+}
+
+func TestCSVSourceRoundTripThroughPipeline(t *testing.T) {
+	ps := mkPackets(8, 20000, 100, 9)
+	const nv = 700
+
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+
+	fromSlice := NewEnsembleSink()
+	if _, err := Run(NewSliceSource(ps), PipelineConfig{NV: nv}, fromSlice); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV := NewEnsembleSink()
+	stats, err := Run(NewCSVSource(&buf), PipelineConfig{NV: nv}, fromCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows == 0 {
+		t.Fatal("no windows from CSV replay")
+	}
+	for _, q := range Quantities {
+		if !reflect.DeepEqual(fromSlice.Ensemble(q).Mean(), fromCSV.Ensemble(q).Mean()) {
+			t.Errorf("%v: CSV replay ensemble differs from slice", q)
+		}
+		if !histEqual(fromSlice.Merged(q), fromCSV.Merged(q)) {
+			t.Errorf("%v: CSV replay merged histogram differs from slice", q)
+		}
+	}
+}
+
+func TestEnsembleSinkFitters(t *testing.T) {
+	ps := mkPackets(9, 40000, 256, 0)
+	sink := NewEnsembleSink(SourceFanOut)
+	if _, err := Run(NewSliceSource(ps), PipelineConfig{NV: 2000}, sink); err != nil {
+		t.Fatal(err)
+	}
+	fit, err := sink.FitZM(SourceFanOut, zipfmand.DefaultFitOptions())
+	if err != nil {
+		t.Fatalf("FitZM: %v", err)
+	}
+	if fit.Alpha <= 0 {
+		t.Errorf("alpha = %v", fit.Alpha)
+	}
+	if _, err := sink.FitPowerLaw(SourceFanOut); err != nil {
+		t.Errorf("FitPowerLaw: %v", err)
+	}
+	// Quantities that were not accumulated must report cleanly.
+	if _, err := sink.FitZM(LinkPackets, zipfmand.DefaultFitOptions()); err == nil {
+		t.Error("FitZM on unaccumulated quantity: expected error")
+	}
+	if _, err := sink.FitPowerLaw(LinkPackets); err == nil {
+		t.Error("FitPowerLaw on unaccumulated quantity: expected error")
+	}
+}
+
+func TestWindowerFlush(t *testing.T) {
+	w, err := NewWindower(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		w.Push(Packet{Src: 1, Dst: 2, Valid: true})
+	}
+	win := w.Flush()
+	if win == nil {
+		t.Fatal("Flush returned nil with 7 pending packets")
+	}
+	if win.NV != 7 || win.T != 0 {
+		t.Errorf("flushed window NV=%d T=%d", win.NV, win.T)
+	}
+	if w.Pending() != 0 {
+		t.Errorf("Pending = %d after Flush", w.Pending())
+	}
+	if w.Flush() != nil {
+		t.Error("second Flush should return nil")
+	}
+	// The next complete window continues the index sequence.
+	for i := 0; i < 10; i++ {
+		if win := w.Push(Packet{Src: 1, Dst: 2, Valid: true}); win != nil && win.T != 1 {
+			t.Errorf("post-flush window T = %d, want 1", win.T)
+		}
+	}
+}
+
+func TestWindowerResetIsolatesTraces(t *testing.T) {
+	w, err := NewWindower(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave 73 packets of trace A pending, then reset and run trace B.
+	for _, p := range mkPackets(10, 73, 16, 0) {
+		w.Push(p)
+	}
+	if w.Pending() != 73 {
+		t.Fatalf("Pending = %d", w.Pending())
+	}
+	w.Reset()
+	if w.Pending() != 0 {
+		t.Errorf("Pending = %d after Reset", w.Pending())
+	}
+	traceB := mkPackets(11, 250, 16, 0)
+	var reused []*Window
+	for _, p := range traceB {
+		if win := w.Push(p); win != nil {
+			reused = append(reused, win)
+		}
+	}
+	fresh := referenceWindows(t, traceB, 100)
+	if len(reused) != len(fresh) {
+		t.Fatalf("reused windower cut %d windows, fresh cut %d", len(reused), len(fresh))
+	}
+	for i := range fresh {
+		if reused[i].T != fresh[i].T {
+			t.Errorf("window %d: T=%d, want %d (stale index)", i, reused[i].T, fresh[i].T)
+		}
+		if !reflect.DeepEqual(reused[i].Matrix.Entries(), fresh[i].Matrix.Entries()) {
+			t.Errorf("window %d: reused windower leaked trace A state", i)
+		}
+	}
+}

@@ -47,6 +47,9 @@ const (
 	DestinationPackets
 )
 
+// NumQuantities is the number of Fig. 1 network quantities.
+const NumQuantities = 5
+
 // Quantities lists all five quantities in the paper's Fig. 1 order.
 var Quantities = []Quantity{
 	SourcePackets, SourceFanOut, LinkPackets, DestinationFanIn, DestinationPackets,
@@ -116,7 +119,7 @@ func (w *Windower) Push(p Packet) *Window {
 	win := &Window{T: w.t, Matrix: w.builder.Build(), NV: w.seen}
 	w.t++
 	w.seen = 0
-	w.builder = spmat.NewBuilder()
+	w.builder.Reset() // Build copied the entries out; reuse the maps
 	return win
 }
 
@@ -124,19 +127,40 @@ func (w *Windower) Push(p Packet) *Window {
 // (incomplete) window.
 func (w *Windower) Pending() int64 { return w.seen }
 
+// Flush closes the current partial window and returns it (with NV equal
+// to the packets actually pending), or nil if nothing is pending. Use it
+// when a trace ends and the tail must be observed rather than discarded;
+// the fixed-NV methodology of the paper discards tails instead.
+func (w *Windower) Flush() *Window {
+	if w.seen == 0 {
+		return nil
+	}
+	win := &Window{T: w.t, Matrix: w.builder.Build(), NV: w.seen}
+	w.t++
+	w.seen = 0
+	w.builder.Reset()
+	return win
+}
+
+// Reset discards any pending partial window and rewinds the window index
+// to zero, so a reused windower cannot silently carry Pending() packets
+// from one trace into the next.
+func (w *Windower) Reset() {
+	w.builder.Reset()
+	w.seen = 0
+	w.t = 0
+}
+
 // Cut consumes a packet slice and returns all complete windows. A trailing
 // partial window is discarded, matching the paper's fixed-NV methodology.
 // It returns ErrShortStream if no window completes.
+//
+// Cut is a thin wrapper over the streaming pipeline (see pipeline.go):
+// the slice is replayed through Run with matrices retained.
 func Cut(packets []Packet, nv int64) ([]*Window, error) {
-	w, err := NewWindower(nv)
+	wins, _, err := CollectWindows(NewSliceSource(packets), PipelineConfig{NV: nv})
 	if err != nil {
 		return nil, err
-	}
-	var wins []*Window
-	for _, p := range packets {
-		if win := w.Push(p); win != nil {
-			wins = append(wins, win)
-		}
 	}
 	if len(wins) == 0 {
 		return nil, ErrShortStream
@@ -177,9 +201,12 @@ func histFromMap(m map[uint32]int64) (*hist.Histogram, error) {
 }
 
 // AllQuantities computes the histograms for all five quantities of a
-// window in one call, keyed by Quantity.
+// window in one call, keyed by Quantity. It reduces from the frozen
+// matrix; the streaming pipeline computes the same histograms without a
+// matrix (see reduceWindow), and AllQuantities deliberately stays an
+// independent reference implementation for the equivalence tests.
 func AllQuantities(win *Window) (map[Quantity]*hist.Histogram, error) {
-	out := make(map[Quantity]*hist.Histogram, len(Quantities))
+	out := make(map[Quantity]*hist.Histogram, NumQuantities)
 	for _, q := range Quantities {
 		h, err := QuantityHistogram(win, q)
 		if err != nil {

@@ -33,39 +33,91 @@ func WriteTraceCSV(w io.Writer, packets []Packet) error {
 	return bw.Flush()
 }
 
-// ReadTraceCSV parses a trace written by WriteTraceCSV (header optional).
-// Malformed lines produce errors with line numbers rather than silent
-// drops: a trace with holes would bias every downstream distribution.
-func ReadTraceCSV(r io.Reader) ([]Packet, error) {
+// CSVSource streams packets from a trace CSV one line at a time, so a
+// trace of any length replays through the pipeline in bounded memory. It
+// implements PacketSource; malformed lines terminate the stream with an
+// error carrying the line number rather than silently dropping packets
+// (a trace with holes would bias every downstream distribution).
+type CSVSource struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+	done bool
+}
+
+// NewCSVSource returns a streaming reader over a trace written by
+// WriteTraceCSV (header optional).
+func NewCSVSource(r io.Reader) *CSVSource {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var out []Packet
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+	return &CSVSource{sc: sc}
+}
+
+// Next implements PacketSource.
+func (s *CSVSource) Next() (Packet, bool) {
+	if s.done {
+		return Packet{}, false
+	}
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
 		if text == "" {
 			continue
 		}
-		parts := strings.Split(text, ",")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("stream: line %d: want 3 fields, got %d", line, len(parts))
+		p, ok, err := parseTraceLine(text, s.line)
+		if err != nil {
+			s.err = err
+			s.done = true
+			return Packet{}, false
 		}
-		src, err1 := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 32)
-		dst, err2 := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 32)
-		val, err3 := strconv.Atoi(strings.TrimSpace(parts[2]))
-		if err1 != nil || err2 != nil || err3 != nil {
-			if line == 1 {
-				continue // header
-			}
-			return nil, fmt.Errorf("stream: line %d: unparseable %q", line, text)
+		if !ok { // header
+			continue
 		}
-		if val != 0 && val != 1 {
-			return nil, fmt.Errorf("stream: line %d: valid flag %d not 0/1", line, val)
-		}
-		out = append(out, Packet{Src: uint32(src), Dst: uint32(dst), Valid: val == 1})
+		return p, true
 	}
-	if err := sc.Err(); err != nil {
+	s.done = true
+	s.err = s.sc.Err()
+	return Packet{}, false
+}
+
+// Err implements PacketSource.
+func (s *CSVSource) Err() error { return s.err }
+
+// parseTraceLine parses one non-empty trace line. ok = false with a nil
+// error marks the header line.
+func parseTraceLine(text string, line int) (Packet, bool, error) {
+	parts := strings.Split(text, ",")
+	if len(parts) != 3 {
+		return Packet{}, false, fmt.Errorf("stream: line %d: want 3 fields, got %d", line, len(parts))
+	}
+	src, err1 := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 32)
+	dst, err2 := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 32)
+	val, err3 := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err1 != nil || err2 != nil || err3 != nil {
+		if line == 1 {
+			return Packet{}, false, nil // header
+		}
+		return Packet{}, false, fmt.Errorf("stream: line %d: unparseable %q", line, text)
+	}
+	if val != 0 && val != 1 {
+		return Packet{}, false, fmt.Errorf("stream: line %d: valid flag %d not 0/1", line, val)
+	}
+	return Packet{Src: uint32(src), Dst: uint32(dst), Valid: val == 1}, true, nil
+}
+
+// ReadTraceCSV parses a whole trace into memory; it is the batch
+// counterpart of NewCSVSource.
+func ReadTraceCSV(r io.Reader) ([]Packet, error) {
+	src := NewCSVSource(r)
+	var out []Packet
+	for {
+		p, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	if err := src.Err(); err != nil {
 		return nil, err
 	}
 	if len(out) == 0 {
