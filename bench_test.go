@@ -9,6 +9,7 @@
 package hybridplaw
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"testing"
@@ -18,6 +19,8 @@ import (
 	"hybridplaw/internal/netgen"
 	"hybridplaw/internal/palu"
 	"hybridplaw/internal/spmat"
+	"hybridplaw/internal/stream"
+	"hybridplaw/internal/tracestore"
 	"hybridplaw/internal/xrand"
 	"hybridplaw/internal/zipfmand"
 )
@@ -198,6 +201,64 @@ func BenchmarkWeightedExtension(b *testing.B) {
 	}
 	b.ReportMetric(last.PacketAlpha, "packet-alpha")
 	b.ReportMetric(last.PredictedPacketAlpha, "predicted-alpha")
+}
+
+// BenchmarkTraceReplay contrasts replaying the same archived 1M-packet
+// trace through the full measurement pipeline from the trace CSV, a
+// sequential PTRC reader, and the parallel PTRC reader (the ISSUE 2
+// acceptance record: exact sizes and throughputs behind the bounds
+// asserted by TestPTRCSizeBound and TestPTRCReplaySpeedup).
+func BenchmarkTraceReplay(b *testing.B) {
+	if err := buildReplayTrace(); err != nil {
+		b.Fatal(err)
+	}
+	report := func(b *testing.B, fileBytes int) {
+		b.ReportMetric(float64(replayTrace.n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpackets/s")
+		b.ReportMetric(float64(fileBytes)/float64(replayTrace.n), "bytes/packet")
+	}
+	b.Run("csv", func(b *testing.B) {
+		b.SetBytes(int64(len(replayTrace.csv)))
+		for i := 0; i < b.N; i++ {
+			stats, err := replayPipeline(stream.NewCSVSource(bytes.NewReader(replayTrace.csv)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Windows != 10 {
+				b.Fatalf("windows = %d", stats.Windows)
+			}
+		}
+		report(b, len(replayTrace.csv))
+	})
+	b.Run("ptrc-sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(replayTrace.ptrc)))
+		for i := 0; i < b.N; i++ {
+			src, err := tracestore.NewReader(bytes.NewReader(replayTrace.ptrc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := replayPipeline(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, len(replayTrace.ptrc))
+	})
+	b.Run("ptrc-parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(replayTrace.ptrc)))
+		for i := 0; i < b.N; i++ {
+			src, err := tracestore.NewParallelReader(bytes.NewReader(replayTrace.ptrc),
+				int64(len(replayTrace.ptrc)), tracestore.ParallelOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, err = replayPipeline(src)
+			src.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, len(replayTrace.ptrc))
+		b.ReportMetric(float64(len(replayTrace.ptrc))/float64(len(replayTrace.csv)), "ptrc/csv-size")
+	})
 }
 
 // --- Ablations -----------------------------------------------------------

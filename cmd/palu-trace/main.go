@@ -1,0 +1,330 @@
+// Command palu-trace manages PTRC packet trace archives: the
+// block-compressed binary format of internal/tracestore that makes every
+// experiment runnable from archived traces instead of regenerating
+// synthetic traffic each run.
+//
+// Usage:
+//
+//	palu-trace record  -out trace.ptrc -nv 100000 -windows 4 [site flags]
+//	palu-trace convert -in trace.csv  -out trace.ptrc
+//	palu-trace convert -in trace.ptrc -out trace.csv
+//	palu-trace info    -in trace.ptrc
+//	palu-trace replay  -in trace.ptrc -nv 100000 -quantity fan-out
+//
+// record captures a synthetic observatory trace: exactly the packet
+// prefix a windows×NV pipeline run consumes, so replaying the archive
+// reproduces direct generation bit-identically. convert translates
+// between the trace CSV and PTRC (direction inferred from the -in file's
+// magic). info prints the archive summary from its index without
+// decoding any block. replay streams an archive through the Section II
+// measurement pipeline with parallel block decode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/netgen"
+	"hybridplaw/internal/palu"
+	"hybridplaw/internal/stream"
+	"hybridplaw/internal/tracestore"
+	"hybridplaw/internal/zipfmand"
+)
+
+var quantityByName = map[string]stream.Quantity{
+	"source-packets": stream.SourcePackets,
+	"fan-out":        stream.SourceFanOut,
+	"link-packets":   stream.LinkPackets,
+	"fan-in":         stream.DestinationFanIn,
+	"dest-packets":   stream.DestinationPackets,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("palu-trace: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		log.Printf("unknown subcommand %q", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: palu-trace <record|convert|info|replay> [flags]
+
+  record  -out FILE -nv N -windows W   capture a synthetic site trace to PTRC
+  convert -in FILE -out FILE           convert trace CSV <-> PTRC
+  info    -in FILE                     print a PTRC archive summary
+  replay  -in FILE -nv N [-windows W]  run the measurement pipeline on an archive
+
+Run a subcommand with -h for its flags.`)
+	os.Exit(2)
+}
+
+// defaultSiteConfig is the synthetic observatory preset shared by record
+// and the round-trip tests: a mid-sized PALU network with hub-oriented
+// heavy-tailed traffic and invalid packets the pipeline must filter.
+func defaultSiteConfig(nodes int, p float64, seed uint64) (netgen.SiteConfig, error) {
+	params, err := palu.FromWeights(2, 2, 1.5, 2.5, 2.0)
+	if err != nil {
+		return netgen.SiteConfig{}, err
+	}
+	return netgen.SiteConfig{
+		Name: "palu-trace", Params: params, Nodes: nodes, P: p,
+		WeightAlpha: 2.1, WeightDelta: 0, MaxWeight: 4096,
+		InvalidFraction: 0.02, HubOrientation: 0.7, Seed: seed,
+	}, nil
+}
+
+// recordSite archives the exact packet prefix a windows×NV pipeline run
+// over the site consumes (TakeValid pins the boundary at the closing
+// valid packet), so replaying the archive with MaxWindows=windows is
+// bit-identical to direct generation.
+func recordSite(w io.Writer, site *netgen.Site, windows int, nv int64, opts tracestore.WriterOptions) (int64, error) {
+	return tracestore.Record(w, stream.TakeValid(site.PacketSource(), nv*int64(windows)), opts)
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		out     = fs.String("out", "", "output PTRC file (required)")
+		nv      = fs.Int64("nv", 100000, "valid packets per window NV")
+		windows = fs.Int("windows", 4, "number of windows to capture")
+		nodes   = fs.Int("nodes", 50000, "underlying node budget")
+		p       = fs.Float64("p", 0.5, "edge observation probability")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		block   = fs.Int("block", 0, "packets per PTRC block (0 = default)")
+		level   = fs.Int("level", 0, "DEFLATE level 1..9 (0 = default)")
+	)
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("record: -out is required")
+	}
+	if *windows <= 0 || *nv <= 0 {
+		return fmt.Errorf("record: -windows and -nv must be positive")
+	}
+	cfg, err := defaultSiteConfig(*nodes, *p, *seed)
+	if err != nil {
+		return err
+	}
+	site, err := netgen.NewSite(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := recordSite(f, site, *windows, *nv,
+		tracestore.WriterOptions{BlockSize: *block, Level: *level})
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d packets (%d windows x NV=%d) to %s (%d bytes, %.2f bytes/packet)\n",
+		n, *windows, *nv, *out, st.Size(), float64(st.Size())/float64(n))
+	return nil
+}
+
+// isPTRC sniffs the file magic.
+func isPTRC(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	magic := make([]byte, tracestore.MagicLen)
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return false, nil // too short to be PTRC; treat as CSV
+	}
+	return tracestore.IsArchive(magic), nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	var (
+		in    = fs.String("in", "", "input trace (CSV or PTRC, sniffed; required)")
+		out   = fs.String("out", "", "output trace (opposite format; required)")
+		block = fs.Int("block", 0, "packets per PTRC block (0 = default)")
+		level = fs.Int("level", 0, "DEFLATE level 1..9 (0 = default)")
+	)
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert: -in and -out are required")
+	}
+	ptrc, err := isPTRC(*in)
+	if err != nil {
+		return err
+	}
+	src, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	var n int64
+	if ptrc {
+		n, err = tracestore.PTRCToCSV(src, dst)
+	} else {
+		n, err = tracestore.CSVToPTRC(src, dst,
+			tracestore.WriterOptions{BlockSize: *block, Level: *level})
+	}
+	if err != nil {
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d packets: %s -> %s\n", n, *in, *out)
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "PTRC archive (required)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("info: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	info, err := tracestore.Info(f, st.Size())
+	if err != nil {
+		return err
+	}
+	fmt.Print(formatInfo(*in, info))
+	return nil
+}
+
+// formatInfo renders an archive summary (separate from cmdInfo for the
+// tests).
+func formatInfo(path string, info tracestore.ArchiveInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: PTRC archive, %d bytes\n", path, info.FileSize)
+	fmt.Fprintf(&b, "  blocks:       %d\n", info.Blocks)
+	fmt.Fprintf(&b, "  packets:      %d (%d valid, %d invalid)\n",
+		info.Packets, info.ValidPackets, info.Packets-info.ValidPackets)
+	if info.Packets > 0 {
+		fmt.Fprintf(&b, "  bytes/packet: %.2f\n", float64(info.FileSize)/float64(info.Packets))
+	}
+	if info.RawBytes > 0 {
+		fmt.Fprintf(&b, "  compression:  %d -> %d payload bytes (%.1f%%)\n",
+			info.RawBytes, info.CompressedBytes,
+			100*float64(info.CompressedBytes)/float64(info.RawBytes))
+	}
+	return b.String()
+}
+
+// replayEnsemble streams a PacketSource through the measurement pipeline
+// and returns the pooled ensemble of q. windows <= 0 replays the whole
+// source.
+func replayEnsemble(src stream.PacketSource, nv int64, windows, workers int, q stream.Quantity) (*stream.EnsembleSink, stream.PipelineStats, error) {
+	sink := stream.NewEnsembleSink(q)
+	stats, err := stream.Run(src, stream.PipelineConfig{
+		NV: nv, Workers: workers, MaxWindows: windows,
+	}, sink)
+	if err != nil {
+		return nil, stats, err
+	}
+	if stats.Windows == 0 {
+		return nil, stats, stream.ErrShortStream
+	}
+	return sink, stats, nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		in       = fs.String("in", "", "PTRC archive (required)")
+		nv       = fs.Int64("nv", 100000, "valid packets per window NV")
+		windows  = fs.Int("windows", 0, "max windows (0 = replay the whole archive)")
+		workers  = fs.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS)")
+		decoders = fs.Int("decoders", 0, "PTRC decode pool size (0 = GOMAXPROCS)")
+		quantity = fs.String("quantity", "fan-out", "quantity: source-packets|fan-out|link-packets|fan-in|dest-packets")
+	)
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("replay: -in is required")
+	}
+	q, ok := quantityByName[*quantity]
+	if !ok {
+		return fmt.Errorf("replay: unknown quantity %q", *quantity)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	src, err := tracestore.NewParallelReader(f, st.Size(),
+		tracestore.ParallelOptions{Workers: *decoders})
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+
+	sink, stats, err := replayEnsemble(src, *nv, *windows, *workers, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d windows of NV=%d from %s (%d packets read, %d invalid filtered, %d tail discarded)\n",
+		stats.Windows, *nv, *in, stats.SourcePacketsRead, stats.InvalidPackets, stats.DiscardedTail)
+
+	ens := sink.Ensemble(q)
+	mean, sigma := ens.Mean(), ens.Sigma()
+	fmt.Printf("\n%s: pooled differential cumulative probability over %d windows\n", q, ens.Windows())
+	fmt.Printf("%8s %14s %14s\n", "di", "mean D(di)", "sigma(di)")
+	for i := range mean {
+		fmt.Printf("%8d %14.6g %14.6g\n", hist.BinUpper(i), mean[i], sigma[i])
+	}
+	fit, err := sink.FitZM(q, zipfmand.DefaultFitOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmodified Zipf-Mandelbrot fit: alpha=%.3f delta=%.3f (SSE=%.4g)\n",
+		fit.Alpha, fit.Delta, fit.SSE)
+	return nil
+}

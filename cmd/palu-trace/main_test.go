@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hybridplaw/internal/netgen"
+	"hybridplaw/internal/stream"
+	"hybridplaw/internal/tracestore"
+)
+
+const (
+	testNV      = 2000
+	testWindows = 3
+	testNodes   = 4000
+	testP       = 0.5
+	testSeed    = 77
+)
+
+func testSite(t *testing.T) *netgen.Site {
+	t.Helper()
+	cfg, err := defaultSiteConfig(testNodes, testP, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := netgen.NewSite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+// TestRecordReplayMatchesDirectGeneration pins the acceptance contract:
+// record -> replay reproduces the same Fig. 1 ensemble output as direct
+// generation from the same site, float-identical.
+func TestRecordReplayMatchesDirectGeneration(t *testing.T) {
+	// record: archive the 3-window trace prefix of the site.
+	var archive bytes.Buffer
+	n, err := recordSite(&archive, testSite(t), testWindows, testNV,
+		tracestore.WriterOptions{BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < testWindows*testNV {
+		t.Fatalf("recorded %d packets, want >= %d", n, testWindows*testNV)
+	}
+
+	// info: the index must agree with what was recorded.
+	info, err := tracestore.Info(bytes.NewReader(archive.Bytes()), int64(archive.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Packets != n || info.ValidPackets != testWindows*testNV {
+		t.Fatalf("info %d/%d packets, want %d/%d", info.Packets, info.ValidPackets, n, testWindows*testNV)
+	}
+
+	// Direct generation: a fresh site with the same seed through the
+	// pipeline, no archive involved.
+	for _, q := range stream.Quantities {
+		direct, directStats, err := replayEnsemble(testSite(t).PacketSource(),
+			testNV, testWindows, 2, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// replay: the archive through the parallel reader.
+		src, err := tracestore.NewParallelReader(bytes.NewReader(archive.Bytes()),
+			int64(archive.Len()), tracestore.ParallelOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, replayStats, err := replayEnsemble(src, testNV, testWindows, 2, q)
+		src.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if directStats.Windows != testWindows || replayStats.Windows != testWindows {
+			t.Fatalf("%v: windows direct=%d replay=%d", q, directStats.Windows, replayStats.Windows)
+		}
+		if directStats.ValidPackets != replayStats.ValidPackets ||
+			directStats.InvalidPackets != replayStats.InvalidPackets {
+			t.Fatalf("%v: packet accounting diverges: direct %+v, replay %+v",
+				q, directStats, replayStats)
+		}
+		dm, ds := direct.Ensemble(q).Mean(), direct.Ensemble(q).Sigma()
+		rm, rs := replayed.Ensemble(q).Mean(), replayed.Ensemble(q).Sigma()
+		if len(dm) != len(rm) {
+			t.Fatalf("%v: bin counts differ: %d vs %d", q, len(dm), len(rm))
+		}
+		for i := range dm {
+			if dm[i] != rm[i] || ds[i] != rs[i] {
+				t.Fatalf("%v bin %d: replay not float-identical to direct generation "+
+					"(mean %v vs %v, sigma %v vs %v)", q, i, rm[i], dm[i], rs[i], ds[i])
+			}
+		}
+	}
+}
+
+// TestRecordedArchiveRoundTripsThroughCSV checks record -> convert(CSV)
+// -> convert(PTRC) preserves the packet sequence.
+func TestRecordedArchiveRoundTripsThroughCSV(t *testing.T) {
+	var archive bytes.Buffer
+	if _, err := recordSite(&archive, testSite(t), 1, 500, tracestore.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if _, err := tracestore.PTRCToCSV(bytes.NewReader(archive.Bytes()), &csv); err != nil {
+		t.Fatal(err)
+	}
+	var back bytes.Buffer
+	if _, err := tracestore.CSVToPTRC(bytes.NewReader(csv.Bytes()), &back, tracestore.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := tracestore.NewReader(bytes.NewReader(archive.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tracestore.NewReader(bytes.NewReader(back.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		pa, oka := a.Next()
+		pb, okb := b.Next()
+		if oka != okb {
+			t.Fatalf("length mismatch at packet %d", i)
+		}
+		if !oka {
+			break
+		}
+		if pa != pb {
+			t.Fatalf("packet %d: %+v != %+v", i, pa, pb)
+		}
+	}
+	if a.Err() != nil || b.Err() != nil {
+		t.Fatalf("reader errors: %v, %v", a.Err(), b.Err())
+	}
+}
+
+func TestFormatInfo(t *testing.T) {
+	out := formatInfo("x.ptrc", tracestore.ArchiveInfo{
+		FileSize: 1000, Blocks: 2, Packets: 300, ValidPackets: 290,
+		RawBytes: 1800, CompressedBytes: 900,
+	})
+	for _, want := range []string{"x.ptrc", "300", "290", "10 invalid", "50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+}

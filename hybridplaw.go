@@ -32,6 +32,7 @@ import (
 	"hybridplaw/internal/powerlaw"
 	"hybridplaw/internal/spmat"
 	"hybridplaw/internal/stream"
+	"hybridplaw/internal/tracestore"
 	"hybridplaw/internal/xrand"
 	"hybridplaw/internal/zipfmand"
 )
@@ -258,6 +259,89 @@ func NewSliceSource(packets []Packet) *SliceSource { return stream.NewSliceSourc
 
 // NewCSVSource returns a streaming reader over a trace CSV.
 func NewCSVSource(r io.Reader) *CSVSource { return stream.NewCSVSource(r) }
+
+// PacketCounter is the optional accounting extension of PacketSource:
+// counting sources surface their packet totals in
+// PipelineStats.SourcePacketsRead so truncated traces are detectable.
+type PacketCounter = stream.PacketCounter
+
+// BlockSource is the optional bulk extension of PacketSource: sources
+// holding runs of decoded packets (PTRC readers) hand them to the
+// pipeline's ingest stage whole.
+type BlockSource = stream.BlockSource
+
+// WriteTraceCSV archives a packet slice as a trace CSV (src,dst,valid).
+func WriteTraceCSV(w io.Writer, packets []Packet) error {
+	return stream.WriteTraceCSV(w, packets)
+}
+
+// WriteTraceCSVFrom streams a PacketSource into a trace CSV without
+// materializing it, returning the packet count.
+func WriteTraceCSVFrom(w io.Writer, src PacketSource) (int64, error) {
+	return stream.WriteTraceCSVFrom(w, src)
+}
+
+// TraceWriter streams packets into a PTRC block-compressed binary trace
+// archive (see internal/tracestore for the format).
+type TraceWriter = tracestore.Writer
+
+// TraceWriterOptions configures PTRC archiving (block size, DEFLATE
+// level); the zero value selects the defaults.
+type TraceWriterOptions = tracestore.WriterOptions
+
+// TraceReader replays a PTRC archive sequentially; it implements
+// PacketSource and BlockSource.
+type TraceReader = tracestore.Reader
+
+// ParallelTraceReader replays a PTRC archive with blocks decoded on a
+// worker pool ahead of the pipeline, preserving strict packet order.
+type ParallelTraceReader = tracestore.ParallelReader
+
+// ParallelTraceOptions configures the parallel decode pool.
+type ParallelTraceOptions = tracestore.ParallelOptions
+
+// TraceArchiveInfo summarizes a PTRC archive from its index.
+type TraceArchiveInfo = tracestore.ArchiveInfo
+
+// ErrCorruptTrace is wrapped by every error caused by a damaged PTRC
+// archive (truncation, checksum mismatch, bad magic).
+var ErrCorruptTrace = tracestore.ErrCorrupt
+
+// NewTraceWriter returns a PTRC writer archiving into w; call Close to
+// finalize the index and footer.
+func NewTraceWriter(w io.Writer, opts TraceWriterOptions) (*TraceWriter, error) {
+	return tracestore.NewWriter(w, opts)
+}
+
+// RecordTrace archives an entire PacketSource into w as one PTRC archive
+// and returns the packet count.
+func RecordTrace(w io.Writer, src PacketSource, opts TraceWriterOptions) (int64, error) {
+	return tracestore.Record(w, src, opts)
+}
+
+// NewTraceReader returns a sequential PTRC reader over r.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	return tracestore.NewReader(r)
+}
+
+// NewParallelTraceReader returns a PTRC reader decoding blocks on a
+// worker pool; size is the archive length in bytes.
+func NewParallelTraceReader(r io.ReaderAt, size int64, opts ParallelTraceOptions) (*ParallelTraceReader, error) {
+	return tracestore.NewParallelReader(r, size, opts)
+}
+
+// TraceInfo summarizes a PTRC archive from its index without decoding
+// any block.
+func TraceInfo(r io.ReaderAt, size int64) (TraceArchiveInfo, error) {
+	return tracestore.Info(r, size)
+}
+
+// TakeValidPackets limits a source to the prefix ending at its n-th
+// valid packet — exactly what a MaxWindows-bounded pipeline run
+// consumes, so recorded traces replay bit-identically.
+func TakeValidPackets(src PacketSource, n int64) PacketSource {
+	return stream.TakeValid(src, n)
+}
 
 // NewEnsembleSink returns a sink accumulating the given quantities (all
 // five when called with no arguments).

@@ -71,6 +71,77 @@ func (s *SliceSource) Next() (Packet, bool) {
 // Err implements PacketSource; a slice cannot fail.
 func (s *SliceSource) Err() error { return nil }
 
+// PacketsRead reports the number of packets replayed so far.
+func (s *SliceSource) PacketsRead() int64 { return int64(s.i) }
+
+// PacketCounter is the optional accounting extension of PacketSource:
+// sources that know how many packets they have produced implement it, and
+// Run surfaces the count in PipelineStats.SourcePacketsRead so truncated
+// traces are detectable by callers.
+type PacketCounter interface {
+	// PacketsRead reports the number of packets produced so far.
+	PacketsRead() int64
+}
+
+// BlockSource is the optional bulk extension of PacketSource: sources
+// that naturally hold runs of decoded packets (the tracestore block
+// readers) expose them whole, and Run's ingest loop consumes the run
+// with a tight filter-and-copy loop instead of one interface call per
+// packet — the serial stage of the pipeline is then bounded by memory
+// bandwidth, not call overhead. (SliceSource deliberately stays
+// per-packet: it is the reference source, and bounded runs over it pin
+// exact packet-level consumption semantics.)
+type BlockSource interface {
+	PacketSource
+	// NextBlock returns the next run of packets, or ok = false at end of
+	// stream (then Err reports the cause, as for Next). The returned
+	// slice is only valid until the next NextBlock/Next call: callers
+	// must copy what they keep. Next and NextBlock may be interleaved;
+	// both consume the same underlying sequence.
+	NextBlock() ([]Packet, bool)
+}
+
+// takeValidSource limits a source to a prefix ending at its n-th valid
+// packet (see TakeValid).
+type takeValidSource struct {
+	src       PacketSource
+	remaining int64
+	read      int64
+}
+
+// TakeValid returns a source producing the prefix of src up to and
+// including its n-th valid packet; invalid packets interleaved before
+// that boundary pass through unchanged. This is exactly the prefix the
+// pipeline consumes for n = NV × MaxWindows, so recording through
+// TakeValid and replaying the archive reproduces a bounded pipeline run
+// bit-identically.
+func TakeValid(src PacketSource, n int64) PacketSource {
+	return &takeValidSource{src: src, remaining: n}
+}
+
+// Next implements PacketSource.
+func (s *takeValidSource) Next() (Packet, bool) {
+	if s.remaining <= 0 {
+		return Packet{}, false
+	}
+	p, ok := s.src.Next()
+	if !ok {
+		s.remaining = 0
+		return Packet{}, false
+	}
+	if p.Valid {
+		s.remaining--
+	}
+	s.read++
+	return p, true
+}
+
+// Err implements PacketSource.
+func (s *takeValidSource) Err() error { return s.src.Err() }
+
+// PacketsRead implements PacketCounter.
+func (s *takeValidSource) PacketsRead() int64 { return s.read }
+
 // WindowResult is one completed window as produced by the pipeline: the
 // Table I aggregates and all five Fig. 1 quantity histograms, computed in
 // a single pass over the window's incremental builder state.
@@ -150,6 +221,14 @@ type PipelineStats struct {
 	// DiscardedTail is the number of valid packets in the trailing
 	// incomplete window, discarded per the fixed-NV methodology.
 	DiscardedTail int64
+	// SourcePacketsRead is the source's own packet count when the source
+	// implements PacketCounter (CSVSource, tracestore readers, ...), and
+	// -1 otherwise. For a fully drained counting source it equals
+	// ValidPackets + InvalidPackets; a shortfall against an expected trace
+	// length indicates a truncated archive. A MaxWindows-bounded run over
+	// a BlockSource may read up to one block past the packets it counts
+	// (consumption granularity is the block).
+	SourcePacketsRead int64
 }
 
 // Run executes the streaming pipeline: it ingests packets from src on
@@ -158,7 +237,7 @@ type PipelineStats struct {
 // window order. It returns when the source is exhausted, MaxWindows is
 // reached, the source fails, or a sink returns an error.
 func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, error) {
-	var stats PipelineStats
+	stats := PipelineStats{SourcePacketsRead: -1}
 	if src == nil {
 		return stats, errors.New("stream: nil packet source")
 	}
@@ -258,38 +337,69 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 	// Ingest loop, on the caller's goroutine: filter, buffer, hand off.
 	chunk := <-free
 	t := 0
-ingest:
-	for {
-		p, ok := src.Next()
-		if !ok {
-			break
-		}
-		if !p.Valid {
-			stats.InvalidPackets++
-			continue
-		}
-		chunk = append(chunk, p)
-		stats.ValidPackets++
-		if int64(len(chunk)) < cfg.NV {
-			continue
-		}
+	// handoff ships the full chunk to the worker pool and acquires a
+	// fresh buffer; it returns false when ingest must stop (consumer-side
+	// error or MaxWindows reached).
+	handoff := func() bool {
 		select {
 		case jobs <- job{t: t, packets: chunk}:
 		case <-stop:
-			break ingest
+			return false
 		}
 		chunk = nil
 		t++
 		if cfg.MaxWindows > 0 && t >= cfg.MaxWindows {
-			break
+			return false
 		}
 		select {
 		case chunk = <-free:
 		case <-stop:
-			break ingest
+			return false
+		}
+		return true
+	}
+	if bs, ok := src.(BlockSource); ok {
+		// Bulk path: whole decoded runs, filtered and copied in a tight
+		// loop with no per-packet interface dispatch.
+	ingestBlocks:
+		for {
+			blk, ok := bs.NextBlock()
+			if !ok {
+				break
+			}
+			for _, p := range blk {
+				if !p.Valid {
+					stats.InvalidPackets++
+					continue
+				}
+				chunk = append(chunk, p)
+				stats.ValidPackets++
+				if int64(len(chunk)) == cfg.NV && !handoff() {
+					break ingestBlocks
+				}
+			}
+		}
+	} else {
+		for {
+			p, ok := src.Next()
+			if !ok {
+				break
+			}
+			if !p.Valid {
+				stats.InvalidPackets++
+				continue
+			}
+			chunk = append(chunk, p)
+			stats.ValidPackets++
+			if int64(len(chunk)) == cfg.NV && !handoff() {
+				break
+			}
 		}
 	}
 	stats.DiscardedTail = int64(len(chunk))
+	if c, ok := src.(PacketCounter); ok {
+		stats.SourcePacketsRead = c.PacketsRead()
+	}
 	close(jobs)
 	wg.Wait()
 	close(results)

@@ -345,3 +345,67 @@ func TestWindowerResetIsolatesTraces(t *testing.T) {
 		}
 	}
 }
+
+// TestTakeValid pins the recording contract: TakeValid(src, NV×W) yields
+// exactly the prefix a MaxWindows-bounded pipeline run consumes, so an
+// archive recorded through it replays bit-identically.
+func TestTakeValid(t *testing.T) {
+	trace := mkPackets(12, 5000, 32, 5)
+	const nv, windows = 300, 4
+
+	limited := TakeValid(NewSliceSource(trace), nv*windows)
+	var prefix []Packet
+	for {
+		p, ok := limited.Next()
+		if !ok {
+			break
+		}
+		prefix = append(prefix, p)
+	}
+	if err := limited.Err(); err != nil {
+		t.Fatal(err)
+	}
+	valid := 0
+	for _, p := range prefix {
+		if p.Valid {
+			valid++
+		}
+	}
+	if valid != nv*windows {
+		t.Fatalf("prefix holds %d valid packets, want %d", valid, nv*windows)
+	}
+	if !prefix[len(prefix)-1].Valid {
+		t.Error("prefix must end on its closing valid packet")
+	}
+	if c, ok := limited.(PacketCounter); !ok || c.PacketsRead() != int64(len(prefix)) {
+		t.Error("TakeValid source miscounts PacketsRead")
+	}
+
+	// The bounded pipeline consumes exactly the same prefix.
+	src := NewSliceSource(trace)
+	stats, err := Run(src, PipelineConfig{NV: nv, MaxWindows: windows},
+		FuncSink(func(*WindowResult) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows != windows {
+		t.Fatalf("windows = %d", stats.Windows)
+	}
+	if stats.SourcePacketsRead != int64(len(prefix)) {
+		t.Errorf("pipeline consumed %d packets, TakeValid prefix is %d",
+			stats.SourcePacketsRead, len(prefix))
+	}
+
+	// Short stream: TakeValid ends early without error.
+	short := TakeValid(NewSliceSource(trace[:10]), 1<<30)
+	n := 0
+	for {
+		if _, ok := short.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 || short.Err() != nil {
+		t.Errorf("short stream: delivered %d, err %v", n, short.Err())
+	}
+}

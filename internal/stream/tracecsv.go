@@ -15,22 +15,46 @@ import (
 // carries no payloads or timestamps — the paper's analysis uses only the
 // (source, destination) sequence of valid packets.
 
-// WriteTraceCSV writes packets as "src,dst,valid" lines with a header.
-func WriteTraceCSV(w io.Writer, packets []Packet) error {
+// WriteTraceCSVFrom streams packets from src as "src,dst,valid" lines
+// with a header, and returns the number of packets written. The source is
+// drained one packet at a time, so archiving a trace never requires
+// materializing it.
+func WriteTraceCSVFrom(w io.Writer, src PacketSource) (int64, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, "src,dst,valid"); err != nil {
-		return err
+		return 0, err
 	}
-	for _, p := range packets {
-		v := 0
+	var n int64
+	buf := make([]byte, 0, 32)
+	for {
+		p, ok := src.Next()
+		if !ok {
+			break
+		}
+		buf = strconv.AppendUint(buf[:0], uint64(p.Src), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, uint64(p.Dst), 10)
 		if p.Valid {
-			v = 1
+			buf = append(buf, ",1\n"...)
+		} else {
+			buf = append(buf, ",0\n"...)
 		}
-		if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", p.Src, p.Dst, v); err != nil {
-			return err
+		if _, err := bw.Write(buf); err != nil {
+			return n, err
 		}
+		n++
 	}
-	return bw.Flush()
+	if err := src.Err(); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// WriteTraceCSV writes a packet slice as a trace CSV; it is the thin
+// convenience wrapper over WriteTraceCSVFrom.
+func WriteTraceCSV(w io.Writer, packets []Packet) error {
+	_, err := WriteTraceCSVFrom(w, NewSliceSource(packets))
+	return err
 }
 
 // CSVSource streams packets from a trace CSV one line at a time, so a
@@ -41,6 +65,7 @@ func WriteTraceCSV(w io.Writer, packets []Packet) error {
 type CSVSource struct {
 	sc   *bufio.Scanner
 	line int
+	read int64
 	err  error
 	done bool
 }
@@ -73,6 +98,7 @@ func (s *CSVSource) Next() (Packet, bool) {
 		if !ok { // header
 			continue
 		}
+		s.read++
 		return p, true
 	}
 	s.done = true
@@ -82,6 +108,13 @@ func (s *CSVSource) Next() (Packet, bool) {
 
 // Err implements PacketSource.
 func (s *CSVSource) Err() error { return s.err }
+
+// PacketsRead reports the number of packets decoded so far (header and
+// blank lines excluded). After the stream ends it is the total packet
+// count of the trace, so callers comparing it against an expected length
+// — or against PipelineStats.SourcePacketsRead — can detect truncated
+// archives.
+func (s *CSVSource) PacketsRead() int64 { return s.read }
 
 // parseTraceLine parses one non-empty trace line. ok = false with a nil
 // error marks the header line.

@@ -59,6 +59,96 @@ func TestReadTraceCSVErrors(t *testing.T) {
 	}
 }
 
+func TestWriteTraceCSVFromStreams(t *testing.T) {
+	// The streaming writer must match the slice wrapper byte for byte and
+	// report the packet count.
+	ps := mkPackets(3, 1200, 64, 4)
+	var a, b bytes.Buffer
+	if err := WriteTraceCSV(&a, ps); err != nil {
+		t.Fatal(err)
+	}
+	n, err := WriteTraceCSVFrom(&b, NewSliceSource(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(ps)) {
+		t.Errorf("wrote %d packets, want %d", n, len(ps))
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("WriteTraceCSVFrom output differs from WriteTraceCSV")
+	}
+}
+
+func TestCSVSourcePacketsRead(t *testing.T) {
+	ps := mkPackets(5, 500, 64, 4)
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	src := NewCSVSource(&buf)
+	if src.PacketsRead() != 0 {
+		t.Errorf("PacketsRead before reading = %d", src.PacketsRead())
+	}
+	seen := int64(0)
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		seen++
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if src.PacketsRead() != seen || seen != int64(len(ps)) {
+		t.Errorf("PacketsRead = %d, delivered %d, trace %d", src.PacketsRead(), seen, len(ps))
+	}
+}
+
+func TestPipelineSurfacesSourcePacketsRead(t *testing.T) {
+	ps := mkPackets(6, 3000, 64, 4)
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(NewCSVSource(&buf), PipelineConfig{NV: 500}, FuncSink(func(*WindowResult) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SourcePacketsRead != int64(len(ps)) {
+		t.Errorf("SourcePacketsRead = %d, want %d", stats.SourcePacketsRead, len(ps))
+	}
+	if stats.SourcePacketsRead != stats.ValidPackets+stats.InvalidPackets {
+		t.Errorf("accounting mismatch: %d read vs %d valid + %d invalid",
+			stats.SourcePacketsRead, stats.ValidPackets, stats.InvalidPackets)
+	}
+	// A source that cannot count reports -1.
+	stats, err = Run(&uncountedSource{packets: ps}, PipelineConfig{NV: 500},
+		FuncSink(func(*WindowResult) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SourcePacketsRead != -1 {
+		t.Errorf("uncounted source: SourcePacketsRead = %d, want -1", stats.SourcePacketsRead)
+	}
+}
+
+// uncountedSource is a PacketSource without the PacketCounter extension.
+type uncountedSource struct {
+	packets []Packet
+	i       int
+}
+
+func (s *uncountedSource) Next() (Packet, bool) {
+	if s.i >= len(s.packets) {
+		return Packet{}, false
+	}
+	p := s.packets[s.i]
+	s.i++
+	return p, true
+}
+
+func (s *uncountedSource) Err() error { return nil }
+
 func TestTraceCSVThroughPipeline(t *testing.T) {
 	// Integration: archive a synthetic trace, re-read it, and verify the
 	// windower produces identical windows.

@@ -1,0 +1,299 @@
+package tracestore
+
+import (
+	"io"
+	"runtime"
+	"sync"
+
+	"hybridplaw/internal/stream"
+)
+
+// ParallelOptions configures a ParallelReader.
+type ParallelOptions struct {
+	// Workers is the decode pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Prefetch bounds how many decoded blocks may wait, in order, ahead
+	// of the consumer; <= 0 selects 2 (double buffering: one block being
+	// consumed, one ready).
+	Prefetch int
+}
+
+// ParallelReader replays a PTRC archive with block decodes fanned out to
+// a worker pool, so decompression overlaps the pipeline's ingest and
+// window reduction. It requires a seekable archive (io.ReaderAt plus its
+// size): the trailing index supplies every block's offset, workers fetch
+// and decode blocks independently, and a coordinator re-orders completed
+// blocks so Next delivers the exact archived packet sequence. Decoded
+// blocks are double-buffered ahead of the consumer; memory is
+// O(Workers + Prefetch) blocks regardless of archive length.
+//
+// ParallelReader implements stream.PacketSource. Callers that abandon
+// the source early (pipeline MaxWindows bounds, errors) should Close it
+// to release the worker pool; draining it to exhaustion also releases.
+type ParallelReader struct {
+	idx     *archiveIndex
+	ordered chan parallelBlock
+	pool    chan []stream.Packet
+	stop    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+
+	buf  []stream.Packet
+	i    int
+	read int64
+	err  error
+	done bool
+}
+
+type parallelBlock struct {
+	packets []stream.Packet
+	err     error
+}
+
+// NewParallelReader reads the archive's footer and index and starts the
+// decode pool. size is the archive length in bytes.
+func NewParallelReader(r io.ReaderAt, size int64, opts ParallelOptions) (*ParallelReader, error) {
+	idx, err := readIndex(r, size)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(idx.blocks) && len(idx.blocks) > 0 {
+		workers = len(idx.blocks)
+	}
+	prefetch := opts.Prefetch
+	if prefetch <= 0 {
+		prefetch = 2
+	}
+	p := &ParallelReader{
+		idx:     idx,
+		ordered: make(chan parallelBlock, prefetch),
+		pool:    make(chan []stream.Packet, workers+prefetch+1),
+		stop:    make(chan struct{}),
+	}
+	if len(idx.blocks) == 0 {
+		close(p.ordered)
+		return p, nil
+	}
+
+	type outcome struct {
+		i     int
+		block parallelBlock
+	}
+	jobs := make(chan int)
+	results := make(chan outcome, workers)
+	// credits bounds the decoded-but-not-yet-consumed blocks: the feeder
+	// spends one per dispatched block, the coordinator refunds one per
+	// block handed to the consumer. Without it, a single stalled worker
+	// would let the others race ahead and the coordinator's reorder
+	// buffer would grow toward the whole archive.
+	credits := make(chan struct{}, workers+prefetch)
+	for i := 0; i < workers+prefetch; i++ {
+		credits <- struct{}{}
+	}
+
+	// Feeder: block indices in file order, paced by consumer progress.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(jobs)
+		for i := range idx.blocks {
+			select {
+			case <-credits:
+			case <-p.stop:
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+
+	// Workers: fetch + CRC-check + decompress + decode one block at a
+	// time, each with its own decoder state and ReadAt (safe for
+	// concurrent use by contract).
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer workerWG.Done()
+			var dec blockDecoder
+			var rec []byte
+			for i := range jobs {
+				bl := idx.blocks[i]
+				n := 1 + blockHeaderLen + bl.compLen
+				if cap(rec) < n {
+					rec = make([]byte, n)
+				}
+				rec = rec[:n]
+				out := parallelBlock{}
+				if _, err := r.ReadAt(rec, idx.offsets[i]); err != nil {
+					out.err = corruptf("reading block %d: %v", i, err)
+				} else if rec[0] != tagBlock {
+					out.err = corruptf("block %d: expected block tag, found 0x%02x", i, rec[0])
+				} else if h, err := parseBlockHeader(rec[1:]); err != nil {
+					out.err = err
+				} else if h.packets != bl.packets || h.compLen != bl.compLen {
+					out.err = corruptf("block %d header disagrees with index", i)
+				} else {
+					out.packets, out.err = dec.decode(h, rec[1+blockHeaderLen:], p.takeBuf())
+				}
+				select {
+				case results <- outcome{i: i, block: out}:
+				case <-p.stop:
+					return
+				}
+			}
+		}()
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		workerWG.Wait()
+		close(results)
+	}()
+
+	// Coordinator: restore strict block order before the consumer.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(p.ordered)
+		pending := make(map[int]parallelBlock, workers)
+		next := 0
+		for r := range results {
+			pending[r.i] = r.block
+			for {
+				b, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				select {
+				case p.ordered <- b:
+				case <-p.stop:
+					return
+				}
+				if b.err != nil {
+					return // error ends the stream; stop draining in order
+				}
+				credits <- struct{}{} // cap workers+prefetch: never blocks
+			}
+		}
+	}()
+	return p, nil
+}
+
+// takeBuf recycles a packet buffer from the pool if one is available.
+func (p *ParallelReader) takeBuf() []stream.Packet {
+	select {
+	case b := <-p.pool:
+		return b[:0]
+	default:
+		return nil
+	}
+}
+
+// fill ensures the current block has unconsumed packets, pulling the
+// next decoded block in order as needed; false means end of stream,
+// error, or Close.
+func (p *ParallelReader) fill() bool {
+	if p.done {
+		return false
+	}
+	for p.i >= len(p.buf) {
+		if p.buf != nil {
+			select {
+			case p.pool <- p.buf:
+			default:
+			}
+			p.buf = nil
+		}
+		b, ok := <-p.ordered
+		if !ok {
+			p.done = true
+			p.finish()
+			return false
+		}
+		if b.err != nil {
+			p.done = true
+			p.err = b.err
+			p.Close()
+			return false
+		}
+		p.buf, p.i = b.packets, 0
+	}
+	return true
+}
+
+// Next implements stream.PacketSource.
+func (p *ParallelReader) Next() (stream.Packet, bool) {
+	if !p.fill() {
+		return stream.Packet{}, false
+	}
+	pk := p.buf[p.i]
+	p.i++
+	p.read++
+	return pk, true
+}
+
+// NextBlock implements stream.BlockSource: it returns the unconsumed
+// remainder of the current decoded block. The slice is recycled on the
+// next Next/NextBlock call; callers must copy what they keep.
+func (p *ParallelReader) NextBlock() ([]stream.Packet, bool) {
+	if !p.fill() {
+		return nil, false
+	}
+	blk := p.buf[p.i:]
+	p.i = len(p.buf)
+	p.read += int64(len(blk))
+	return blk, true
+}
+
+// finish runs when the ordered stream drains cleanly: verify the packet
+// count against the index (a defense-in-depth invariant; per-block CRCs
+// and the index cross-checks make a mismatch unreachable short of a bug).
+func (p *ParallelReader) finish() {
+	if p.err == nil && p.read != p.idx.total {
+		p.err = corruptf("archive delivered %d packets, index claims %d", p.read, p.idx.total)
+	}
+	p.Close()
+}
+
+// Err implements stream.PacketSource.
+func (p *ParallelReader) Err() error { return p.err }
+
+// PacketsRead implements stream.PacketCounter: the number of packets
+// delivered so far.
+func (p *ParallelReader) PacketsRead() int64 { return p.read }
+
+// Info summarizes the archive from its already-decoded index.
+func (p *ParallelReader) Info() ArchiveInfo {
+	info := ArchiveInfo{
+		Blocks:       len(p.idx.blocks),
+		Packets:      p.idx.total,
+		ValidPackets: p.idx.valid,
+	}
+	for _, bl := range p.idx.blocks {
+		info.RawBytes += int64(bl.rawLen)
+		info.CompressedBytes += int64(bl.compLen)
+	}
+	return info
+}
+
+// Close stops the decode pool and waits for its goroutines to exit. It
+// is idempotent and safe after exhaustion; Next returns no packets after
+// Close.
+func (p *ParallelReader) Close() error {
+	p.once.Do(func() { close(p.stop) })
+	p.wg.Wait()
+	p.done = true
+	return nil
+}

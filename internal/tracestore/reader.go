@@ -1,0 +1,202 @@
+package tracestore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+
+	"hybridplaw/internal/stream"
+)
+
+// Reader replays a PTRC archive sequentially, implementing
+// stream.PacketSource for drop-in pipeline replay. It needs only an
+// io.Reader (a pipe works): blocks are decoded one at a time in order,
+// and the in-stream index record both terminates the block sequence and
+// cross-checks the totals, so a truncated archive — one that ends before
+// its index — always surfaces as an error rather than a silently short
+// trace.
+type Reader struct {
+	r      io.Reader
+	dec    blockDecoder
+	hdr    [1 + blockHeaderLen]byte
+	comp   []byte
+	buf    []stream.Packet
+	i      int
+	off    int64 // bytes consumed from r
+	read   int64
+	valid  int64
+	blocks int64
+	err    error
+	done   bool
+}
+
+// NewReader checks the file magic and returns a sequential reader over
+// the archive.
+func NewReader(r io.Reader) (*Reader, error) {
+	var magic [len(fileMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, corruptf("reading file magic: %v", err)
+	}
+	if string(magic[:]) != fileMagic {
+		return nil, corruptf("bad file magic %q", magic[:])
+	}
+	return &Reader{r: r, off: int64(len(fileMagic))}, nil
+}
+
+// readFull wraps io.ReadFull with offset accounting.
+func (r *Reader) readFull(b []byte) error {
+	n, err := io.ReadFull(r.r, b)
+	r.off += int64(n)
+	return err
+}
+
+// fill ensures the packet buffer has unconsumed packets, reading records
+// as needed; false means end of stream or error.
+func (r *Reader) fill() bool {
+	for r.i >= len(r.buf) {
+		if r.done || r.err != nil {
+			return false
+		}
+		r.nextBlock()
+	}
+	return true
+}
+
+// Next implements stream.PacketSource.
+func (r *Reader) Next() (stream.Packet, bool) {
+	if !r.fill() {
+		return stream.Packet{}, false
+	}
+	p := r.buf[r.i]
+	r.i++
+	r.read++
+	if p.Valid {
+		r.valid++
+	}
+	return p, true
+}
+
+// NextBlock implements stream.BlockSource: it returns the unconsumed
+// remainder of the current block. The slice is only valid until the next
+// Next/NextBlock call.
+func (r *Reader) NextBlock() ([]stream.Packet, bool) {
+	if !r.fill() {
+		return nil, false
+	}
+	blk := r.buf[r.i:]
+	r.i = len(r.buf)
+	r.read += int64(len(blk))
+	for _, p := range blk {
+		if p.Valid {
+			r.valid++
+		}
+	}
+	return blk, true
+}
+
+// nextBlock reads the next record: a block refills the packet buffer; the
+// index record ends the stream after verifying the totals and footer.
+func (r *Reader) nextBlock() {
+	tagOff := r.off
+	if err := r.readFull(r.hdr[:1]); err != nil {
+		if err == io.EOF {
+			r.err = corruptf("archive ends after %d blocks with no index (truncated?)", r.blocks)
+		} else {
+			r.err = err
+		}
+		return
+	}
+	switch r.hdr[0] {
+	case tagBlock:
+		if err := r.readFull(r.hdr[1:]); err != nil {
+			r.err = corruptf("truncated block header: %v", err)
+			return
+		}
+		h, err := parseBlockHeader(r.hdr[1:])
+		if err != nil {
+			r.err = err
+			return
+		}
+		if cap(r.comp) < h.compLen {
+			r.comp = make([]byte, h.compLen)
+		}
+		r.comp = r.comp[:h.compLen]
+		if err := r.readFull(r.comp); err != nil {
+			r.err = corruptf("truncated block payload: %v", err)
+			return
+		}
+		r.buf, err = r.dec.decode(h, r.comp, r.buf[:0])
+		if err != nil {
+			r.err = err
+			r.buf = r.buf[:0]
+			return
+		}
+		r.i = 0
+		r.blocks++
+	case tagIndex:
+		r.finish(tagOff)
+	default:
+		r.err = corruptf("unknown record tag 0x%02x after %d blocks", r.hdr[0], r.blocks)
+	}
+}
+
+// finish consumes the index record and footer and verifies both against
+// the stream just replayed: block/packet totals, index CRC, and the
+// footer's magic and back-pointer to the index record at tagOff.
+func (r *Reader) finish(tagOff int64) {
+	var ih [indexHeaderLen]byte
+	if err := r.readFull(ih[:]); err != nil {
+		r.err = corruptf("truncated index header: %v", err)
+		return
+	}
+	n := binary.LittleEndian.Uint32(ih[0:])
+	want := binary.LittleEndian.Uint32(ih[4:])
+	if int64(n) > maxBlockBytes {
+		r.err = corruptf("index length %d out of range", n)
+		return
+	}
+	payload := make([]byte, n)
+	if err := r.readFull(payload); err != nil {
+		r.err = corruptf("truncated index payload: %v", err)
+		return
+	}
+	if crc := crc32.Checksum(payload, crcTable); crc != want {
+		r.err = corruptf("index CRC mismatch: stored %08x, computed %08x", want, crc)
+		return
+	}
+	idx, err := parseIndexPayload(payload, -1)
+	if err != nil {
+		r.err = err
+		return
+	}
+	if int64(len(idx.blocks)) != r.blocks || idx.total != r.read || idx.valid != r.valid {
+		r.err = corruptf("index claims %d blocks / %d packets (%d valid), stream delivered %d / %d (%d)",
+			len(idx.blocks), idx.total, idx.valid, r.blocks, r.read, r.valid)
+		return
+	}
+	var footer [footerLen]byte
+	if err := r.readFull(footer[:]); err != nil {
+		r.err = corruptf("truncated footer: %v", err)
+		return
+	}
+	if string(footer[16:]) != footerMagic {
+		r.err = corruptf("bad footer magic %q", footer[16:])
+		return
+	}
+	if got := int64(binary.LittleEndian.Uint64(footer[0:])); got != tagOff {
+		r.err = corruptf("footer points at index offset %d, index record read at %d", got, tagOff)
+		return
+	}
+	if binary.LittleEndian.Uint32(footer[8:]) != n || binary.LittleEndian.Uint32(footer[12:]) != want {
+		r.err = corruptf("footer index length/CRC disagree with index record")
+		return
+	}
+	r.done = true
+}
+
+// Err implements stream.PacketSource.
+func (r *Reader) Err() error { return r.err }
+
+// PacketsRead implements stream.PacketCounter: the number of packets
+// delivered so far.
+func (r *Reader) PacketsRead() int64 { return r.read }
