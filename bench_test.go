@@ -261,6 +261,60 @@ func BenchmarkTraceReplay(b *testing.B) {
 	})
 }
 
+// BenchmarkScenarioEngine contrasts serial and parallel scheduling of
+// the same synthetic scenario suite (CPU-bound units, no I/O): the
+// wall-clock record behind the engine's hardware-aware speedup test.
+// Like every parallel-vs-serial number in this file it is reported, not
+// asserted — acceptance floors live in the tests, tiered by NumCPU.
+func BenchmarkScenarioEngine(b *testing.B) {
+	const units = 8
+	buildRegistry := func() *ScenarioRegistry {
+		reg := NewScenarioRegistry()
+		for i := 0; i < units; i++ {
+			i := i
+			reg.MustRegister(Scenario{
+				Name: fmt.Sprintf("burn%d", i), Title: "burn",
+				Run: func(*ScenarioContext) (ScenarioResult, error) {
+					h := uint64(i) + 0x9e3779b97f4a7c15
+					for k := 0; k < 4_000_000; k++ {
+						h ^= h >> 33
+						h *= 0xff51afd7ed558ccd
+					}
+					return benchScenarioResult(fmt.Sprintf("%016x", h)), nil
+				},
+			})
+		}
+		return reg
+	}
+	for _, workers := range []int{1, 0} { // 1 = serial, 0 = GOMAXPROCS
+		name := "serial"
+		if workers != 1 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := NewScenarioEngine(buildRegistry(), ScenarioConfig{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reports, err := eng.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(reports) != units {
+					b.Fatalf("reports = %d", len(reports))
+				}
+			}
+			b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/s")
+		})
+	}
+}
+
+// benchScenarioResult is a minimal ScenarioResult for benchmarks.
+type benchScenarioResult string
+
+func (r benchScenarioResult) Summary() string { return string(r) + "\n" }
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationAggregation contrasts serial and parallel traffic-

@@ -1,286 +1,104 @@
 // Command palu-figures regenerates every table and figure of the paper
-// into an output directory: CSV series plus ASCII renderings, and a
-// summary.txt recording paper-vs-measured values (the data behind
-// EXPERIMENTS.md).
+// through the declarative scenario engine: CSV series plus ASCII
+// renderings into an output directory, and a summary.txt recording
+// paper-vs-measured values (the data behind EXPERIMENTS.md).
 //
 // Usage:
 //
-//	palu-figures -out ./out            # everything
-//	palu-figures -out ./out -only fig4 # one artifact
+//	palu-figures -out ./out                    # full suite, serial
+//	palu-figures -out ./out -parallel          # independent scenarios concurrently
+//	palu-figures -out ./out -cache-dir ./ptrc  # record windows once, replay thereafter
+//	palu-figures -only fig3 -only table1       # subsets by name or prefix
+//	palu-figures -list                         # print the experiment index (EXPERIMENTS.md)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"hybridplaw/internal/experiments"
-	"hybridplaw/internal/hist"
-	"hybridplaw/internal/plotio"
-	"hybridplaw/internal/zipfmand"
+	"hybridplaw/internal/scenario"
 )
+
+// onlyFlags accumulates repeated -only values (comma-separable).
+type onlyFlags []string
+
+func (f *onlyFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *onlyFlags) Set(v string) error {
+	for _, tok := range strings.Split(v, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			*f = append(*f, tok)
+		}
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("palu-figures: ")
+	var only onlyFlags
 	var (
-		out  = flag.String("out", "out", "output directory")
-		only = flag.String("only", "", "restrict to one artifact: table1|fig1|fig2|fig3|fig4|validation|recovery|invariance|baseline")
-		seed = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("out", "out", "output directory")
+		seed     = flag.Uint64("seed", 1, "random seed for the suite-seeded experiments")
+		parallel = flag.Bool("parallel", false, "run independent scenarios concurrently (one worker per CPU)")
+		cacheDir = flag.String("cache-dir", "", "PTRC window cache directory: traffic windows are recorded once and replayed thereafter")
+		list     = flag.Bool("list", false, "print the experiment index (the content of EXPERIMENTS.md) and exit")
 	)
+	flag.Var(&only, "only", "restrict to scenarios matching a name or prefix (repeatable, comma-separable; e.g. fig3, fig3/tokyo2015-source-packets)")
 	flag.Parse()
+
+	reg := experiments.MustRegistry(*seed)
+	if *list {
+		fmt.Print(scenario.ListMarkdown(reg))
+		return
+	}
+	selection, err := reg.Select(only...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workers := 1
+	if *parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eng, err := scenario.NewEngine(reg, scenario.Config{
+		Workers:  workers,
+		OutDir:   *out,
+		CacheDir: *cacheDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	summary := &strings.Builder{}
-	want := func(name string) bool { return *only == "" || *only == name }
 
-	if want("table1") {
-		runTable1(*out, *seed, summary)
+	reports, runErr := eng.Run(selection...)
+	for _, r := range reports {
+		status := "ok"
+		if r.Err != nil {
+			status = "FAILED: " + r.Err.Error()
+		}
+		log.Printf("%-36s %8.2fs  %s", r.Scenario.Name, r.Duration.Seconds(), status)
 	}
-	if want("fig1") {
-		runFig1(*out, *seed, summary)
-	}
-	if want("fig2") {
-		runFig2(*out, *seed, summary)
-	}
-	if want("fig3") {
-		runFig3(*out, summary)
-	}
-	if want("fig4") {
-		runFig4(*out, summary)
-	}
-	if want("validation") {
-		runValidation(*out, *seed, summary)
-	}
-	if want("recovery") {
-		runRecovery(*seed, summary)
-	}
-	if want("invariance") {
-		runInvariance(*seed, summary)
-	}
-	if want("baseline") {
-		runBaseline(*seed, summary)
-	}
-
+	summary := scenario.Summarize(reports)
 	path := filepath.Join(*out, "summary.txt")
-	if err := os.WriteFile(path, []byte(summary.String()), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(summary), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(summary.String())
+	fmt.Print(summary)
+	if *cacheDir != "" {
+		cs := eng.CacheStats()
+		log.Printf("window cache: %d hits, %d misses, %d packets recorded, %d replayed",
+			cs.Hits, cs.Misses, cs.RecordedPackets, cs.ReplayedPackets)
+	}
 	fmt.Printf("\nartifacts written to %s\n", *out)
-}
-
-func runTable1(out string, seed uint64, sum *strings.Builder) {
-	res, err := experiments.RunTableI(seed, 100000)
-	if err != nil {
-		log.Fatalf("table1: %v", err)
+	if runErr != nil {
+		log.Fatal(runErr)
 	}
-	fmt.Fprintf(sum, "== Table I: aggregate network properties (NV window) ==\n")
-	fmt.Fprintf(sum, "valid packets NV       = %d\n", res.Aggregates.ValidPackets)
-	fmt.Fprintf(sum, "unique links           = %d\n", res.Aggregates.UniqueLinks)
-	fmt.Fprintf(sum, "unique sources         = %d\n", res.Aggregates.UniqueSources)
-	fmt.Fprintf(sum, "unique destinations    = %d\n", res.Aggregates.UniqueDestinations)
-	fmt.Fprintf(sum, "summation == matrix notation: transpose-consistent=%v parallel-consistent=%v\n\n",
-		res.TransposeConsistent, res.ParallelConsistent)
-}
-
-func runFig1(out string, seed uint64, sum *strings.Builder) {
-	res, err := experiments.RunFigure1(seed, 100000)
-	if err != nil {
-		log.Fatalf("fig1: %v", err)
-	}
-	f, err := os.Create(filepath.Join(out, "figure1_quantities.csv"))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	fmt.Fprintln(f, "quantity,total,dmax,frac_d1")
-	fmt.Fprintf(sum, "== Figure 1: streaming network quantities (NV=%d) ==\n", res.NV)
-	for i, q := range res.Quantity {
-		fmt.Fprintf(f, "%s,%d,%d,%g\n", q, res.Total[i], res.MaxDegree[i], res.FracD1[i])
-		fmt.Fprintf(sum, "%-22s observations=%-9d dmax=%-8d D(1)=%.4f\n",
-			q, res.Total[i], res.MaxDegree[i], res.FracD1[i])
-	}
-	fmt.Fprintln(sum)
-}
-
-func runFig2(out string, seed uint64, sum *strings.Builder) {
-	res, err := experiments.RunFigure2(seed)
-	if err != nil {
-		log.Fatalf("fig2: %v", err)
-	}
-	t := res.Topology
-	fmt.Fprintf(sum, "== Figure 2: traffic network topologies (observed PALU network) ==\n")
-	fmt.Fprintf(sum, "supernode degree       = %d\n", t.SupernodeDegree)
-	fmt.Fprintf(sum, "core nodes             = %d\n", t.CoreNodes)
-	fmt.Fprintf(sum, "supernode leaves       = %d\n", t.SupernodeLeaves)
-	fmt.Fprintf(sum, "core leaves            = %d\n", t.CoreLeaves)
-	fmt.Fprintf(sum, "unattached links       = %d\n", t.UnattachedLinks)
-	fmt.Fprintf(sum, "small components       = %d\n", t.SmallComponents)
-	fmt.Fprintf(sum, "isolated (invisible)   = %d\n", t.IsolatedNodes)
-	fmt.Fprintf(sum, "unattached-link fraction: observed %.5f vs analytic %.5f\n\n",
-		res.ObservedUnattachedLinkFrac, res.ExpectedUnattachedLinkFrac)
-}
-
-func runFig3(out string, sum *strings.Builder) {
-	results, err := experiments.RunFigure3()
-	if err != nil {
-		log.Fatalf("fig3: %v", err)
-	}
-	fmt.Fprintf(sum, "== Figure 3: measured distributions and Zipf-Mandelbrot fits ==\n")
-	for _, r := range results {
-		fmt.Fprintf(sum, "%s\n", r.Summary())
-		f, err := os.Create(filepath.Join(out, "figure3_"+r.Spec.ID+".csv"))
-		if err != nil {
-			log.Fatal(err)
-		}
-		rows := make([][]float64, len(r.MeanD))
-		model := zipfmand.Model{Alpha: r.FitAlpha, Delta: r.FitDelta}
-		md, err := model.PooledD(r.DMax)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for i := range r.MeanD {
-			mv := math.NaN()
-			if i < len(md) {
-				mv = md[i]
-			}
-			rows[i] = []float64{float64(hist.BinUpper(i)), r.MeanD[i], r.SigmaD[i], mv}
-		}
-		if err := plotio.WriteCSV(f, []string{"di", "mean_D", "sigma_D", "zm_fit"}, rows); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
-		chart, err := plotio.LogLogPlot([]plotio.Series{
-			plotio.PooledSeries("observed", r.MeanD, 'o'),
-			plotio.PooledSeries("ZM fit", md, '+'),
-		}, 72, 18)
-		if err == nil {
-			if werr := os.WriteFile(filepath.Join(out, "figure3_"+r.Spec.ID+".txt"),
-				[]byte(chart), 0o644); werr != nil {
-				log.Fatal(werr)
-			}
-		}
-	}
-	fmt.Fprintln(sum)
-}
-
-func runFig4(out string, sum *strings.Builder) {
-	results, err := experiments.RunFigure4(1 << 20)
-	if err != nil {
-		log.Fatalf("fig4: %v", err)
-	}
-	fmt.Fprintf(sum, "== Figure 4: PALU curve families vs Zipf-Mandelbrot ==\n")
-	for _, r := range results {
-		fmt.Fprintf(sum, "alpha=%.1f delta=%.2f: best sup |log10 PALU - log10 ZM| = %.3f over r in %v\n",
-			r.Panel.Alpha, r.Panel.Delta, r.BestSupLog10, r.Panel.Rs)
-		name := fmt.Sprintf("figure4_alpha%.1f", r.Panel.Alpha)
-		f, err := os.Create(filepath.Join(out, name+".csv"))
-		if err != nil {
-			log.Fatal(err)
-		}
-		header := []string{"di", "zm"}
-		for _, rr := range r.Panel.Rs {
-			header = append(header, fmt.Sprintf("palu_r%g", rr))
-		}
-		rows := make([][]float64, len(r.ZM))
-		for i := range r.ZM {
-			row := []float64{float64(hist.BinUpper(i)), r.ZM[i]}
-			for _, curve := range r.PALU {
-				v := math.NaN()
-				if i < len(curve) {
-					v = curve[i]
-				}
-				row = append(row, v)
-			}
-			rows[i] = row
-		}
-		if err := plotio.WriteCSV(f, header, rows); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
-		series := []plotio.Series{plotio.PooledSeries("ZM", r.ZM, 'z')}
-		series = append(series, plotio.PooledSeries(
-			fmt.Sprintf("PALU r=%g", r.Panel.Rs[0]), r.PALU[0], '.'))
-		series = append(series, plotio.PooledSeries(
-			fmt.Sprintf("PALU r=%g", r.Panel.Rs[len(r.Panel.Rs)-1]),
-			r.PALU[len(r.PALU)-1], '+'))
-		chart, err := plotio.LogLogPlot(series, 72, 18)
-		if err == nil {
-			if werr := os.WriteFile(filepath.Join(out, name+".txt"), []byte(chart), 0o644); werr != nil {
-				log.Fatal(werr)
-			}
-		}
-	}
-	fmt.Fprintln(sum)
-}
-
-func runValidation(out string, seed uint64, sum *strings.Builder) {
-	rows, err := experiments.RunValidation(seed, 400000)
-	if err != nil {
-		log.Fatalf("validation: %v", err)
-	}
-	fmt.Fprintf(sum, "== E-V1: Section IV analytic predictions vs simulation ==\n")
-	fmt.Fprint(sum, experiments.ValidationSummary(rows))
-	f, err := os.Create(filepath.Join(out, "validation.csv"))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	fmt.Fprintln(f, "name,analytic,simulated,relerr")
-	for _, r := range rows {
-		fmt.Fprintf(f, "%s,%g,%g,%g\n", r.Name, r.Analytic, r.Simulated, r.RelErr)
-	}
-	fmt.Fprintln(sum)
-}
-
-func runRecovery(seed uint64, sum *strings.Builder) {
-	res, err := experiments.RunRecovery(seed, 1000000)
-	if err != nil {
-		log.Fatalf("recovery: %v", err)
-	}
-	fmt.Fprintf(sum, "== E-R1: Section IV.B estimator recovery ==\n")
-	fmt.Fprintf(sum, "true:      alpha=%.3f c=%.4g l=%.4g u=%.4g mu=%.3f\n",
-		res.TrueConstants.Alpha, res.TrueConstants.C, res.TrueConstants.L,
-		res.TrueConstants.U, res.TrueConstants.Mu)
-	fmt.Fprintf(sum, "estimated: alpha=%.3f c=%.4g l=%.4g u=%.4g mu=%.3f\n",
-		res.Estimated.Alpha, res.Estimated.C, res.Estimated.L,
-		res.Estimated.U, res.Estimated.Mu)
-	fmt.Fprintf(sum, "errors: |dalpha|=%.3f |dmu|=%.3f relerr c=%.3f u=%.3f l=%.3f\n\n",
-		res.AlphaErr, res.MuErr, res.CRelErr, res.URelErr, res.LRelErr)
-}
-
-func runInvariance(seed uint64, sum *strings.Builder) {
-	res, err := experiments.RunWindowInvariance(seed, 1000000)
-	if err != nil {
-		log.Fatalf("invariance: %v", err)
-	}
-	fmt.Fprintf(sum, "== E-X1: window invariance (Section III claim) ==\n")
-	fmt.Fprintf(sum, "true params: %v\n", res.TrueParams)
-	for i, p := range res.Ps {
-		w := res.PerWindow[i]
-		fmt.Fprintf(sum, "p=%.2f: alpha=%.3f c=%.4g l=%.4g u=%.4g mu=%.3f\n",
-			p, w.Alpha, w.C, w.L, w.U, w.Mu)
-	}
-	fmt.Fprintf(sum, "joint lift: %v (alpha spread %.3f, lambda CV %.3f)\n",
-		res.Joint.Params, res.Joint.AlphaSpread, res.Diag.LambdaCV)
-	fmt.Fprintf(sum, "scaling: c/l slope %.3f (model predicts alpha-2 = %.3f)\n\n",
-		res.Diag.CLSlope, res.Diag.CLSlopeWant)
-}
-
-func runBaseline(seed uint64, sum *strings.Builder) {
-	res, err := experiments.RunBaselineComparison(seed, 300000)
-	if err != nil {
-		log.Fatalf("baseline: %v", err)
-	}
-	fmt.Fprintf(sum, "== E-X2: single power law vs modified Zipf-Mandelbrot ==\n")
-	fmt.Fprintf(sum, "power law (CSN, xmin=1): pooled log SSE = %.4g, alpha=%.3f, tail gap=%.3f\n",
-		res.Comparison.PowerLawLogSSE, res.Comparison.PowerLawAlpha, res.Comparison.TailGap)
-	fmt.Fprintf(sum, "modified ZM:             pooled log SSE = %.4g (alpha=%.3f delta=%.3f)\n\n",
-		res.Comparison.CompetitorLogSSE, res.ZMAlpha, res.ZMDelta)
 }

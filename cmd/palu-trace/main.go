@@ -26,6 +26,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"hybridplaw/internal/hist"
@@ -60,6 +62,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "cache":
+		err = cmdCache(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -78,6 +82,7 @@ func usage() {
   convert -in FILE -out FILE           convert trace CSV <-> PTRC
   info    -in FILE                     print a PTRC archive summary
   replay  -in FILE -nv N [-windows W]  run the measurement pipeline on an archive
+  cache   -dir DIR                     summarize a scenario-engine window cache
 
 Run a subcommand with -h for its flags.`)
 	os.Exit(2)
@@ -219,16 +224,7 @@ func cmdInfo(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("info: -in is required")
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return err
-	}
-	info, err := tracestore.Info(f, st.Size())
+	info, err := tracestore.InfoFile(*in)
 	if err != nil {
 		return err
 	}
@@ -253,6 +249,42 @@ func formatInfo(path string, info tracestore.ArchiveInfo) string {
 			100*float64(info.CompressedBytes)/float64(info.RawBytes))
 	}
 	return b.String()
+}
+
+// cmdCache summarizes every archive in a scenario-engine window cache
+// directory (the -cache-dir of palu-figures): one line per entry from
+// its index, no block decodes.
+func cmdCache(args []string) error {
+	fs := flag.NewFlagSet("cache", flag.ExitOnError)
+	dir := fs.String("dir", "", "window cache directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("cache: -dir is required")
+	}
+	paths, err := filepath.Glob(filepath.Join(*dir, "*.ptrc"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fmt.Printf("%s: no cached windows\n", *dir)
+		return nil
+	}
+	var totalBytes, totalPackets int64
+	for _, path := range paths {
+		info, err := tracestore.InfoFile(path)
+		if err != nil {
+			return fmt.Errorf("cache: %s: %w", path, err)
+		}
+		key := strings.TrimSuffix(filepath.Base(path), ".ptrc")
+		fmt.Printf("%s  %9d packets (%d valid)  %4d blocks  %9d bytes\n",
+			key, info.Packets, info.ValidPackets, info.Blocks, info.FileSize)
+		totalBytes += info.FileSize
+		totalPackets += info.Packets
+	}
+	fmt.Printf("%d cached windows, %d packets, %d bytes\n",
+		len(paths), totalPackets, totalBytes)
+	return nil
 }
 
 // replayEnsemble streams a PacketSource through the measurement pipeline

@@ -25,11 +25,13 @@ import (
 	"io"
 
 	"hybridplaw/internal/estimate"
+	"hybridplaw/internal/experiments"
 	"hybridplaw/internal/graph"
 	"hybridplaw/internal/hist"
 	"hybridplaw/internal/netgen"
 	"hybridplaw/internal/palu"
 	"hybridplaw/internal/powerlaw"
+	"hybridplaw/internal/scenario"
 	"hybridplaw/internal/spmat"
 	"hybridplaw/internal/stream"
 	"hybridplaw/internal/tracestore"
@@ -376,3 +378,64 @@ func NewSite(cfg SiteConfig) (*Site, error) { return netgen.NewSite(cfg) }
 
 // Figure3Panels returns the six built-in Fig. 3 panel presets.
 func Figure3Panels() []netgen.PanelSpec { return netgen.Figure3Panels() }
+
+// Scenario is one declarative experiment: a named unit of the paper
+// suite with its declared artifact inputs/outputs and traffic windows.
+type Scenario = scenario.Scenario
+
+// ScenarioResult is the typed outcome of a scenario (its summary.txt
+// fragment renderer).
+type ScenarioResult = scenario.Result
+
+// ScenarioContext is a scenario's handle onto the engine during Run:
+// declared-window streaming (cache-backed) and artifact output.
+type ScenarioContext = scenario.Context
+
+// ScenarioRegistry is an ordered, name-unique scenario collection.
+type ScenarioRegistry = scenario.Registry
+
+// ScenarioEngine schedules a registry: independent scenarios run
+// concurrently on a bounded worker pool, artifact- or window-sharing
+// scenarios in topological order, with generated traffic windows
+// recorded once into a PTRC cache and replayed thereafter.
+type ScenarioEngine = scenario.Engine
+
+// ScenarioConfig configures a ScenarioEngine (workers, output directory,
+// window cache directory).
+type ScenarioConfig = scenario.Config
+
+// ScenarioReport is the outcome of one scheduled scenario.
+type ScenarioReport = scenario.Report
+
+// WindowRequirement declares one synthetic traffic window set a scenario
+// streams; equal requirements share one cached PTRC archive.
+type WindowRequirement = scenario.WindowReq
+
+// WindowCacheStats summarizes PTRC window-cache traffic over a run.
+type WindowCacheStats = scenario.CacheStats
+
+// NewScenarioRegistry returns an empty scenario registry.
+func NewScenarioRegistry() *ScenarioRegistry { return scenario.NewRegistry() }
+
+// NewScenarioEngine validates the configuration and opens the window
+// cache (when configured).
+func NewScenarioEngine(reg *ScenarioRegistry, cfg ScenarioConfig) (*ScenarioEngine, error) {
+	return scenario.NewEngine(reg, cfg)
+}
+
+// SummarizeScenarioReports renders engine reports into the deterministic
+// suite summary (the content of summary.txt).
+func SummarizeScenarioReports(reports []ScenarioReport) string {
+	return scenario.Summarize(reports)
+}
+
+// PaperScenarios returns the full paper suite (every table, figure and
+// ablation) as scenarios in canonical order.
+func PaperScenarios(seed uint64) []Scenario { return experiments.Scenarios(seed) }
+
+// PaperRegistry returns a registry pre-loaded with the full paper suite.
+func PaperRegistry(seed uint64) *ScenarioRegistry { return experiments.MustRegistry(seed) }
+
+// ScenarioIndexMarkdown renders a registry as the experiment index (the
+// content of EXPERIMENTS.md).
+func ScenarioIndexMarkdown(reg *ScenarioRegistry) string { return scenario.ListMarkdown(reg) }

@@ -79,7 +79,7 @@ var ErrNoTail = errors.New("estimate: insufficient tail support for regression")
 // histogram.
 func Estimate(h *hist.Histogram, opts Options) (Result, error) {
 	if h == nil || h.Total() == 0 {
-		return Result{}, errors.New("estimate: empty histogram")
+		return Result{}, errors.New("estimate: empty histogram (no observations to fit)")
 	}
 	if opts.TailMinDegree < 2 {
 		opts.TailMinDegree = 2
@@ -184,7 +184,9 @@ func pointwiseTailFit(h *hist.Histogram, dmin int) (alpha, c, r2 float64, n int,
 		ws = append(ws, cnt)
 	}
 	if len(xs) < 3 {
-		return 0, 0, 0, 0, ErrNoTail
+		return 0, 0, 0, 0, fmt.Errorf(
+			"%w: %d distinct degrees at or above dmin=%d (dmax=%d), need >= 3 for the point-wise fit",
+			ErrNoTail, len(xs), dmin, h.MaxDegree())
 	}
 	fit, err := stats.WeightedOLS(xs, ys, ws)
 	if err != nil {
@@ -217,7 +219,9 @@ func pooledTailFit(h *hist.Histogram, dmin int) (alpha, c, r2 float64, n int, er
 		ws = append(ws, pooled.D[i]*total)
 	}
 	if len(xs) < 3 {
-		return 0, 0, 0, 0, ErrNoTail
+		return 0, 0, 0, 0, fmt.Errorf(
+			"%w: %d populated pooled bins at or above dmin=%d (dmax=%d), need >= 3 for the pooled fit",
+			ErrNoTail, len(xs), dmin, h.MaxDegree())
 	}
 	fit, ferr := stats.WeightedOLS(xs, ys, ws)
 	if ferr != nil {

@@ -1,7 +1,9 @@
 package estimate
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"hybridplaw/internal/hist"
@@ -371,5 +373,67 @@ func BenchmarkEstimate(b *testing.B) {
 		if _, err := Estimate(h, DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// noNaN fails the test if any field of a Result is NaN: degenerate
+// inputs must surface as errors, never as NaN estimates.
+func noNaN(t *testing.T, res Result) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"Alpha": res.Alpha, "C": res.C, "Mu": res.Mu, "U": res.U, "L": res.L,
+		"TailR2": res.TailR2,
+	} {
+		if math.IsNaN(v) {
+			t.Errorf("degenerate input produced NaN %s", name)
+		}
+	}
+}
+
+// TestEstimateDegenerateInputs: empty, single-bin, and
+// all-tail-below-dmin histograms must return descriptive errors, not NaN
+// results — for both tail-fit variants.
+func TestEstimateDegenerateInputs(t *testing.T) {
+	optVariants := map[string]Options{
+		"pooled":    DefaultOptions(),
+		"pointwise": {TailMinDegree: 10, TailPooled: false, SumMaxDegree: 128, MomentU: true},
+	}
+	for name, opts := range optVariants {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Estimate(nil, opts); err == nil {
+				t.Error("nil histogram accepted")
+			}
+			res, err := Estimate(hist.New(), opts)
+			if err == nil {
+				t.Error("empty histogram accepted")
+			} else if !strings.Contains(err.Error(), "empty histogram") {
+				t.Errorf("empty histogram error not descriptive: %v", err)
+			}
+			noNaN(t, res)
+
+			single, herr := hist.FromCounts(map[int]int64{1: 5000})
+			if herr != nil {
+				t.Fatal(herr)
+			}
+			res, err = Estimate(single, opts)
+			if !errors.Is(err, ErrNoTail) {
+				t.Errorf("single-bin histogram: err = %v, want ErrNoTail", err)
+			} else if !strings.Contains(err.Error(), "dmin") {
+				t.Errorf("single-bin error not descriptive: %v", err)
+			}
+			noNaN(t, res)
+
+			headOnly, herr := hist.FromCounts(map[int]int64{1: 4000, 2: 900, 3: 300, 4: 90, 5: 20})
+			if herr != nil {
+				t.Fatal(herr)
+			}
+			res, err = Estimate(headOnly, opts)
+			if !errors.Is(err, ErrNoTail) {
+				t.Errorf("all-below-dmin histogram: err = %v, want ErrNoTail", err)
+			} else if !strings.Contains(err.Error(), "need >= 3") {
+				t.Errorf("all-below-dmin error not descriptive: %v", err)
+			}
+			noNaN(t, res)
+		})
 	}
 }

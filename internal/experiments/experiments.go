@@ -1,7 +1,9 @@
 // Package experiments regenerates every table and figure of the paper
-// (see DESIGN.md §2 for the experiment index). Each Run* function returns
-// a machine-readable result consumed by the root benchmarks, the
-// palu-figures command, and EXPERIMENTS.md.
+// (see DESIGN.md §2 for the experiment index). Each experiment is
+// registered as a declarative scenario (see Scenarios) consumed by the
+// scenario engine behind cmd/palu-figures and EXPERIMENTS.md; the legacy
+// Run* functions remain as thin standalone wrappers for the root
+// benchmarks and direct library use.
 package experiments
 
 import (
@@ -15,6 +17,7 @@ import (
 	"hybridplaw/internal/netgen"
 	"hybridplaw/internal/palu"
 	"hybridplaw/internal/powerlaw"
+	"hybridplaw/internal/scenario"
 	"hybridplaw/internal/spmat"
 	"hybridplaw/internal/stream"
 	"hybridplaw/internal/xrand"
@@ -54,13 +57,14 @@ type spmatAggregates struct {
 
 // RunTableI streams one traffic window through the pipeline and evaluates
 // Table I three ways: incremental (builder), summation/matrix notation
-// (frozen matrix), and the parallel shard-merge rebuild.
+// (frozen matrix), and the parallel shard-merge rebuild. It is the
+// standalone wrapper over the registered "table1" scenario's compute.
 func RunTableI(seed uint64, nv int64) (TableIResult, error) {
-	site, err := netgen.NewSite(tableISite(seed))
-	if err != nil {
-		return TableIResult{}, err
-	}
-	win, err := pipelineWindow(site, nv, true)
+	return runTableI(scenario.Standalone(), seed, nv)
+}
+
+func runTableI(ctx *scenario.Context, seed uint64, nv int64) (TableIResult, error) {
+	win, err := pipelineWindow(ctx, tableISite(seed), nv, true)
 	if err != nil {
 		return TableIResult{}, err
 	}
@@ -85,12 +89,12 @@ func RunTableI(seed uint64, nv int64) (TableIResult, error) {
 }
 
 // pipelineWindow streams exactly one window of nv valid packets off a
-// site through the pipeline.
-func pipelineWindow(site *netgen.Site, nv int64, keepMatrix bool) (*stream.WindowResult, error) {
+// site through the pipeline (via the context's window cache when the
+// scenario engine provides one).
+func pipelineWindow(ctx *scenario.Context, site netgen.SiteConfig, nv int64, keepMatrix bool) (*stream.WindowResult, error) {
 	collector := &stream.ResultCollector{}
-	if _, err := stream.Run(site.PacketSource(), stream.PipelineConfig{
-		NV: nv, MaxWindows: 1, KeepMatrices: keepMatrix,
-	}, collector); err != nil {
+	req := scenario.WindowReq{Site: site, NV: nv, Windows: 1}
+	if _, err := ctx.Stream(req, stream.PipelineConfig{KeepMatrices: keepMatrix}, collector); err != nil {
 		return nil, err
 	}
 	if len(collector.Results) == 0 {
@@ -117,13 +121,14 @@ type Figure1Result struct {
 }
 
 // RunFigure1 computes all five Fig. 1 quantities on one window, in one
-// streaming pass through the pipeline.
+// streaming pass through the pipeline. Standalone wrapper over the
+// "fig1" scenario's compute.
 func RunFigure1(seed uint64, nv int64) (Figure1Result, error) {
-	site, err := netgen.NewSite(tableISite(seed))
-	if err != nil {
-		return Figure1Result{}, err
-	}
-	win, err := pipelineWindow(site, nv, false)
+	return runFigure1(scenario.Standalone(), seed, nv)
+}
+
+func runFigure1(ctx *scenario.Context, seed uint64, nv int64) (Figure1Result, error) {
+	win, err := pipelineWindow(ctx, tableISite(seed), nv, false)
 	if err != nil {
 		return Figure1Result{}, err
 	}
@@ -200,16 +205,16 @@ type Figure3PanelResult struct {
 
 // RunFigure3Panel regenerates one panel as a single streaming pass:
 // synthetic packet source → pipeline → cross-window ensemble sink → ZM
-// fit. Only one window is ever resident per worker.
+// fit. Only one window is ever resident per worker. Standalone wrapper
+// over the "fig3/<id>" scenarios' compute.
 func RunFigure3Panel(spec netgen.PanelSpec) (Figure3PanelResult, error) {
-	site, err := netgen.NewSite(spec.Site)
-	if err != nil {
-		return Figure3PanelResult{}, err
-	}
+	return runFigure3Panel(scenario.Standalone(), spec)
+}
+
+func runFigure3Panel(ctx *scenario.Context, spec netgen.PanelSpec) (Figure3PanelResult, error) {
 	sink := stream.NewEnsembleSink(spec.Quantity)
-	if _, err := stream.Run(site.PacketSource(), stream.PipelineConfig{
-		NV: spec.NV, MaxWindows: spec.Windows,
-	}, sink); err != nil {
+	req := scenario.WindowReq{Site: spec.Site, NV: spec.NV, Windows: spec.Windows}
+	if _, err := ctx.Stream(req, stream.PipelineConfig{}, sink); err != nil {
 		return Figure3PanelResult{}, err
 	}
 	ens, merged := sink.Ensemble(spec.Quantity), sink.Merged(spec.Quantity)
@@ -602,10 +607,10 @@ func RunWeightedExtension(seed uint64, n int) (WeightedExtensionResult, error) {
 	}, nil
 }
 
-// Summary renders a one-line textual summary of a Figure3 panel result for
-// reports.
+// Summary renders the one-line textual summary of a Figure3 panel result
+// (newline-terminated, per the scenario.Result convention).
 func (r Figure3PanelResult) Summary() string {
-	return fmt.Sprintf("%-32s NV=%-8d fit α=%.2f δ=%.3f (paper α=%.2f δ=%.3f) D(1)=%.3f dmax=%d",
+	return fmt.Sprintf("%-32s NV=%-8d fit α=%.2f δ=%.3f (paper α=%.2f δ=%.3f) D(1)=%.3f dmax=%d\n",
 		r.Spec.ID, r.Spec.NV, r.FitAlpha, r.FitDelta,
 		r.Spec.PaperAlpha, r.Spec.PaperDelta, r.FracD1, r.DMax)
 }

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hybridplaw/internal/scenario"
+)
+
+// TestScenariosRegistry: the full suite registers cleanly (unique names
+// and outputs), covers every section of the paper, and declares the
+// table1/fig1 window share the engine's cache exploits.
+func TestScenariosRegistry(t *testing.T) {
+	reg := scenario.NewRegistry()
+	if err := Register(reg, 1); err != nil {
+		t.Fatal(err)
+	}
+	names := reg.Names()
+	if len(names) < 16 { // 3 + 6 fig3 panels + 5 fig4 panels + 5 ablation/validation
+		t.Fatalf("suite registers %d scenarios: %v", len(names), names)
+	}
+	for _, want := range []string{"table1", "fig1", "fig2", "validation", "recovery",
+		"invariance", "baseline", "directed", "weighted"} {
+		if _, ok := reg.Get(want); !ok {
+			t.Errorf("scenario %q missing", want)
+		}
+	}
+	fig3, err := reg.Select("fig3")
+	if err != nil || len(fig3) != 6 {
+		t.Errorf("fig3 panels = %v, %v", fig3, err)
+	}
+	fig4, err := reg.Select("fig4")
+	if err != nil || len(fig4) != 5 {
+		t.Errorf("fig4 panels = %v, %v", fig4, err)
+	}
+	for _, s := range reg.Scenarios() {
+		if s.Description == "" {
+			t.Errorf("%s: empty description", s.Name)
+		}
+	}
+	t1, _ := reg.Get("table1")
+	f1, _ := reg.Get("fig1")
+	if len(t1.Windows) != 1 || len(f1.Windows) != 1 ||
+		t1.Windows[0].Key() != f1.Windows[0].Key() {
+		t.Error("table1 and fig1 do not declare a shared cacheable window")
+	}
+	if listing := scenario.ListMarkdown(reg); !strings.Contains(listing, "`table1`") {
+		t.Error("experiment index missing table1")
+	}
+}
+
+// TestScenarioSeedChangesWindowKeys: the suite seed flows into the
+// cache identity of the seeded windows.
+func TestScenarioSeedChangesWindowKeys(t *testing.T) {
+	a, _ := MustRegistry(1).Get("table1")
+	b, _ := MustRegistry(2).Get("table1")
+	if a.Windows[0].Key() == b.Windows[0].Key() {
+		t.Error("window cache key ignores the suite seed")
+	}
+}
+
+// TestEngineRunsTable1 is the end-to-end integration: the real table1
+// scenario through the engine with a cold window cache.
+func TestEngineRunsTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-packet window in -short mode")
+	}
+	eng, err := scenario.NewEngine(MustRegistry(1), scenario.Config{
+		Workers: 1, OutDir: t.TempDir(), CacheDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := eng.Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Err != nil {
+		t.Fatalf("reports: %+v", reports)
+	}
+	sum := reports[0].Result.Summary()
+	if !strings.Contains(sum, "valid packets NV       = 100000") {
+		t.Errorf("unexpected summary:\n%s", sum)
+	}
+	cs := eng.CacheStats()
+	if cs.Misses != 1 || cs.Hits != 0 {
+		t.Errorf("cache hits=%d misses=%d, want 0/1", cs.Hits, cs.Misses)
+	}
+	if cs.ReplayedPackets != cs.RecordedPackets {
+		t.Errorf("replayed %d packets, recorded %d: recorder must replay its own archive",
+			cs.ReplayedPackets, cs.RecordedPackets)
+	}
+}

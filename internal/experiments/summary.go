@@ -1,0 +1,122 @@
+package experiments
+
+// Summary methods making every experiment result a scenario.Result: each
+// renders its summary.txt fragment exactly as the palu-figures driver
+// historically printed it (deterministic, newline-terminated lines, no
+// timings).
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders the Table I aggregate lines.
+func (r TableIResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "valid packets NV       = %d\n", r.Aggregates.ValidPackets)
+	fmt.Fprintf(&b, "unique links           = %d\n", r.Aggregates.UniqueLinks)
+	fmt.Fprintf(&b, "unique sources         = %d\n", r.Aggregates.UniqueSources)
+	fmt.Fprintf(&b, "unique destinations    = %d\n", r.Aggregates.UniqueDestinations)
+	fmt.Fprintf(&b, "summation == matrix notation: transpose-consistent=%v parallel-consistent=%v\n",
+		r.TransposeConsistent, r.ParallelConsistent)
+	return b.String()
+}
+
+// Summary renders one line per Fig. 1 streaming quantity.
+func (r Figure1Result) Summary() string {
+	var b strings.Builder
+	for i, q := range r.Quantity {
+		fmt.Fprintf(&b, "%-22s observations=%-9d dmax=%-8d D(1)=%.4f\n",
+			q, r.Total[i], r.MaxDegree[i], r.FracD1[i])
+	}
+	return b.String()
+}
+
+// Summary renders the Fig. 2 topology decomposition.
+func (r Figure2Result) Summary() string {
+	t := r.Topology
+	var b strings.Builder
+	fmt.Fprintf(&b, "supernode degree       = %d\n", t.SupernodeDegree)
+	fmt.Fprintf(&b, "core nodes             = %d\n", t.CoreNodes)
+	fmt.Fprintf(&b, "supernode leaves       = %d\n", t.SupernodeLeaves)
+	fmt.Fprintf(&b, "core leaves            = %d\n", t.CoreLeaves)
+	fmt.Fprintf(&b, "unattached links       = %d\n", t.UnattachedLinks)
+	fmt.Fprintf(&b, "small components       = %d\n", t.SmallComponents)
+	fmt.Fprintf(&b, "isolated (invisible)   = %d\n", t.IsolatedNodes)
+	fmt.Fprintf(&b, "unattached-link fraction: observed %.5f vs analytic %.5f\n",
+		r.ObservedUnattachedLinkFrac, r.ExpectedUnattachedLinkFrac)
+	return b.String()
+}
+
+// Summary renders the one-line Fig. 4 panel record.
+func (r Figure4PanelResult) Summary() string {
+	return fmt.Sprintf("alpha=%.1f delta=%.2f: best sup |log10 PALU - log10 ZM| = %.3f over r in %v\n",
+		r.Panel.Alpha, r.Panel.Delta, r.BestSupLog10, r.Panel.Rs)
+}
+
+// ValidationResult wraps the E-V1 rows as a scenario result.
+type ValidationResult struct {
+	Rows []ValidationRow
+}
+
+// Summary renders the analytic-vs-simulated table.
+func (r ValidationResult) Summary() string { return ValidationSummary(r.Rows) }
+
+// Summary renders the estimator-recovery record.
+func (r RecoveryResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "true:      alpha=%.3f c=%.4g l=%.4g u=%.4g mu=%.3f\n",
+		r.TrueConstants.Alpha, r.TrueConstants.C, r.TrueConstants.L,
+		r.TrueConstants.U, r.TrueConstants.Mu)
+	fmt.Fprintf(&b, "estimated: alpha=%.3f c=%.4g l=%.4g u=%.4g mu=%.3f\n",
+		r.Estimated.Alpha, r.Estimated.C, r.Estimated.L,
+		r.Estimated.U, r.Estimated.Mu)
+	fmt.Fprintf(&b, "errors: |dalpha|=%.3f |dmu|=%.3f relerr c=%.3f u=%.3f l=%.3f\n",
+		r.AlphaErr, r.MuErr, r.CRelErr, r.URelErr, r.LRelErr)
+	return b.String()
+}
+
+// Summary renders the window-invariance record.
+func (r WindowInvarianceResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "true params: %v\n", r.TrueParams)
+	for i, p := range r.Ps {
+		w := r.PerWindow[i]
+		fmt.Fprintf(&b, "p=%.2f: alpha=%.3f c=%.4g l=%.4g u=%.4g mu=%.3f\n",
+			p, w.Alpha, w.C, w.L, w.U, w.Mu)
+	}
+	fmt.Fprintf(&b, "joint lift: %v (alpha spread %.3f, lambda CV %.3f)\n",
+		r.Joint.Params, r.Joint.AlphaSpread, r.Diag.LambdaCV)
+	fmt.Fprintf(&b, "scaling: c/l slope %.3f (model predicts alpha-2 = %.3f)\n",
+		r.Diag.CLSlope, r.Diag.CLSlopeWant)
+	return b.String()
+}
+
+// Summary renders the baseline-comparison record.
+func (r BaselineComparisonResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "power law (CSN, xmin=1): pooled log SSE = %.4g, alpha=%.3f, tail gap=%.3f\n",
+		r.Comparison.PowerLawLogSSE, r.Comparison.PowerLawAlpha, r.Comparison.TailGap)
+	fmt.Fprintf(&b, "modified ZM:             pooled log SSE = %.4g (alpha=%.3f delta=%.3f)\n",
+		r.Comparison.CompetitorLogSSE, r.ZMAlpha, r.ZMDelta)
+	return b.String()
+}
+
+// Summary renders the directed-ablation record.
+func (r DirectedAblationResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tail exponents: total alpha=%.3f in alpha=%.3f out alpha=%.3f\n",
+		r.TotalAlpha, r.InAlpha, r.OutAlpha)
+	fmt.Fprintf(&b, "out/total amplitude ratio: measured %.3f vs q^(alpha-1) = %.3f\n",
+		r.AmplitudeRatio, r.Predicted)
+	return b.String()
+}
+
+// Summary renders the weighted-extension record.
+func (r WeightedExtensionResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "degree tail alpha=%.3f packet-degree tail alpha=%.3f (predicted %.3f)\n",
+		r.DegreeAlpha, r.PacketAlpha, r.PredictedPacketAlpha)
+	fmt.Fprintf(&b, "mean link weight = %.3f\n", r.MeanWeight)
+	return b.String()
+}

@@ -248,20 +248,29 @@ func bitsLen(x uint) int {
 	return n
 }
 
-// Pool converts the histogram to the pooled differential cumulative form.
+// Pool converts the histogram to the pooled differential cumulative
+// form. Counts are accumulated per bin as integers before the single
+// division: integer addition is order-independent, so the pooled floats
+// are bit-identical no matter how the sparse map iterates — float
+// accumulation here once made σ(di) wobble by an ulp between otherwise
+// identical runs, breaking byte-identical figure regeneration.
 func (h *Histogram) Pool() (*Pooled, error) {
 	if h.total == 0 {
 		return nil, ErrEmpty
 	}
 	nbins := BinIndex(h.MaxDegree()) + 1
-	d := make([]float64, nbins)
+	counts := make([]int64, nbins)
 	for i, c := range h.dense {
 		if c != 0 {
-			d[BinIndex(i+1)] += float64(c) / float64(h.total)
+			counts[BinIndex(i+1)] += c
 		}
 	}
 	for deg, c := range h.sparse {
-		d[BinIndex(deg)] += float64(c) / float64(h.total)
+		counts[BinIndex(deg)] += c
+	}
+	d := make([]float64, nbins)
+	for i, c := range counts {
+		d[i] = float64(c) / float64(h.total)
 	}
 	return &Pooled{D: d, Total: h.total}, nil
 }

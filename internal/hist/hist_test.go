@@ -303,3 +303,59 @@ func BenchmarkHistogramAdd(b *testing.B) {
 		_ = h.Add(r.Intn(10000) + 1)
 	}
 }
+
+// TestPoolDeterministic: pooling must be bit-deterministic regardless of
+// sparse-map iteration order — counts pool as integers, with one
+// division per bin. Two histograms with identical content built in
+// different insertion orders (different map layouts) must pool to
+// bit-equal distributions, including bins that aggregate many sparse
+// degrees (where float accumulation order once leaked through as ulp
+// wobble in σ(di)).
+func TestPoolDeterministic(t *testing.T) {
+	degrees := make([]int, 0, 600)
+	for d := 1025; d < 2025; d += 2 { // 500 sparse degrees in one pooled bin
+		degrees = append(degrees, d)
+	}
+	for d := 1; d <= 100; d++ {
+		degrees = append(degrees, d)
+	}
+	build := func(order func(i int) int) *Histogram {
+		h := New()
+		for i := range degrees {
+			d := degrees[order(i)]
+			if err := h.AddN(d, int64(1+d%7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return h
+	}
+	fwd := build(func(i int) int { return i })
+	rev := build(func(i int) int { return len(degrees) - 1 - i })
+	pf, err := fwd.Pool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := rev.Pool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.D) != len(pr.D) {
+		t.Fatalf("bin counts differ: %d vs %d", len(pf.D), len(pr.D))
+	}
+	for i := range pf.D {
+		if pf.D[i] != pr.D[i] {
+			t.Errorf("bin %d: %x vs %x (insertion order leaked into pooled floats)",
+				i, pf.D[i], pr.D[i])
+		}
+	}
+	// Repeated pooling of one histogram is trivially stable too.
+	again, err := fwd.Pool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pf.D {
+		if pf.D[i] != again.D[i] {
+			t.Errorf("bin %d: repeated Pool differs", i)
+		}
+	}
+}

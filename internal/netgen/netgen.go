@@ -13,6 +13,9 @@
 package netgen
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math"
@@ -79,6 +82,51 @@ func (c SiteConfig) Validate() error {
 		return fmt.Errorf("netgen: weight model: %w", err)
 	}
 	return nil
+}
+
+// fingerprintVersion is bumped whenever the meaning of a SiteConfig
+// field (or the traffic it generates) changes incompatibly, so stale
+// cached traces recorded under the old semantics are never replayed.
+const fingerprintVersion = "netgen-site-v1"
+
+// Fingerprint returns a stable content hash of the configuration: equal
+// configurations (bit-for-bit, including the seed) always produce the
+// same fingerprint, and any field change produces a different one. It is
+// the identity under which generated traffic windows are cached (the
+// scenario engine's PTRC window cache keys on it), so every field that
+// influences the packet stream is folded in exactly — floats by their
+// IEEE bit patterns, never by formatting.
+func (c SiteConfig) Fingerprint() string {
+	h := sha256.New()
+	var scratch [8]byte
+	str := func(s string) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(s)))
+		h.Write(scratch[:])
+		h.Write([]byte(s))
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	str(fingerprintVersion)
+	str(c.Name)
+	f64(c.Params.C)
+	f64(c.Params.L)
+	f64(c.Params.U)
+	f64(c.Params.Lambda)
+	f64(c.Params.Alpha)
+	u64(uint64(c.Nodes))
+	f64(c.P)
+	f64(c.WeightAlpha)
+	f64(c.WeightDelta)
+	u64(uint64(c.MaxWeight))
+	f64(c.InvalidFraction)
+	f64(c.HubOrientation)
+	u64(uint64(c.CoreDegreeFloor))
+	u64(c.Seed)
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // Site is an instantiated observatory.

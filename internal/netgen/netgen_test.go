@@ -269,3 +269,43 @@ func BenchmarkObservationPass(b *testing.B) {
 		s.ObservationPass(r)
 	}
 }
+
+// TestFingerprint: the content hash is stable for equal configurations
+// and sensitive to every field that shapes the generated traffic.
+func TestFingerprint(t *testing.T) {
+	base := testConfig()
+	if got, again := base.Fingerprint(), base.Fingerprint(); got != again {
+		t.Fatalf("fingerprint unstable: %s vs %s", got, again)
+	}
+	if len(base.Fingerprint()) != 32 {
+		t.Fatalf("fingerprint %q not 32 hex chars", base.Fingerprint())
+	}
+	mutations := map[string]func(*SiteConfig){
+		"Name":            func(c *SiteConfig) { c.Name = "other" },
+		"Params.Alpha":    func(c *SiteConfig) { c.Params.Alpha += 1e-9 },
+		"Params.Lambda":   func(c *SiteConfig) { c.Params.Lambda += 1e-9 },
+		"Nodes":           func(c *SiteConfig) { c.Nodes++ },
+		"P":               func(c *SiteConfig) { c.P += 1e-12 },
+		"WeightAlpha":     func(c *SiteConfig) { c.WeightAlpha += 1e-12 },
+		"WeightDelta":     func(c *SiteConfig) { c.WeightDelta += 1e-12 },
+		"MaxWeight":       func(c *SiteConfig) { c.MaxWeight++ },
+		"InvalidFraction": func(c *SiteConfig) { c.InvalidFraction += 1e-12 },
+		"HubOrientation":  func(c *SiteConfig) { c.HubOrientation += 1e-12 },
+		"CoreDegreeFloor": func(c *SiteConfig) { c.CoreDegreeFloor++ },
+		"Seed":            func(c *SiteConfig) { c.Seed++ },
+	}
+	for field, mutate := range mutations {
+		c := base
+		mutate(&c)
+		if c.Fingerprint() == base.Fingerprint() {
+			t.Errorf("fingerprint insensitive to %s", field)
+		}
+	}
+	// Float identity is bit-level: distinguishable zero signs aside, the
+	// same bits always hash the same.
+	c := base
+	c.P = base.P
+	if c.Fingerprint() != base.Fingerprint() {
+		t.Error("identical config fingerprints differ")
+	}
+}

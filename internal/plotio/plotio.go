@@ -8,8 +8,35 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 )
+
+// WriteArtifact renders one experiment artifact into dir/name: it creates
+// the file, runs render against it, and closes it, reporting the first
+// error of the three. name must be a bare file name — artifacts never
+// escape their output directory. Every CSV/TXT the experiment suite
+// emits goes through this single helper so creation, error handling and
+// path hygiene are uniform.
+func WriteArtifact(dir, name string, render func(io.Writer) error) error {
+	if name == "" || name != filepath.Base(name) || name == "." || name == ".." {
+		return fmt.Errorf("plotio: artifact name %q must be a bare file name", name)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("plotio: creating artifact: %w", err)
+	}
+	renderErr := render(f)
+	closeErr := f.Close()
+	if renderErr != nil {
+		return fmt.Errorf("plotio: rendering %s: %w", name, renderErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("plotio: closing %s: %w", name, closeErr)
+	}
+	return nil
+}
 
 // WriteCSV writes a header row and numeric rows. NaN cells are emitted as
 // empty fields so spreadsheet tools skip them.

@@ -2,7 +2,11 @@ package plotio
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -104,5 +108,34 @@ func TestPooledSeries(t *testing.T) {
 	}
 	if s.Y[0] != 0.5 || s.Marker != 'x' {
 		t.Error("series content wrong")
+	}
+}
+
+func TestWriteArtifact(t *testing.T) {
+	dir := t.TempDir()
+	err := WriteArtifact(dir, "series.csv", func(w io.Writer) error {
+		return WriteCSV(w, []string{"x", "y"}, [][]float64{{1, 2}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "series.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "x,y\n1,2\n" {
+		t.Errorf("artifact content = %q", data)
+	}
+
+	renderErr := errors.New("render broke")
+	err = WriteArtifact(dir, "bad.csv", func(io.Writer) error { return renderErr })
+	if !errors.Is(err, renderErr) {
+		t.Errorf("render error lost: %v", err)
+	}
+
+	for _, name := range []string{"", ".", "..", "sub/dir.csv", "../escape.csv"} {
+		if err := WriteArtifact(dir, name, func(io.Writer) error { return nil }); err == nil {
+			t.Errorf("artifact name %q accepted", name)
+		}
 	}
 }

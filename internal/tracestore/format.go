@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 
 	"hybridplaw/internal/stream"
 )
@@ -416,4 +417,19 @@ func Info(r io.ReaderAt, size int64) (ArchiveInfo, error) {
 		info.CompressedBytes += int64(bl.compLen)
 	}
 	return info, nil
+}
+
+// InfoFile summarizes the archive at path (open + stat + Info): the one
+// helper behind every "inspect an archive on disk" path.
+func InfoFile(path string) (ArchiveInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ArchiveInfo{}, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return ArchiveInfo{}, err
+	}
+	return Info(f, fi.Size())
 }
