@@ -24,10 +24,12 @@ package hybridplaw
 import (
 	"io"
 
+	"hybridplaw/internal/boot"
 	"hybridplaw/internal/estimate"
 	"hybridplaw/internal/experiments"
 	"hybridplaw/internal/graph"
 	"hybridplaw/internal/hist"
+	"hybridplaw/internal/model"
 	"hybridplaw/internal/netgen"
 	"hybridplaw/internal/palu"
 	"hybridplaw/internal/powerlaw"
@@ -176,6 +178,92 @@ func FitPowerLaw(h *Histogram) (PowerLawFit, error) {
 	return powerlaw.FitScan(h, 0)
 }
 
+// Model is a fitted degree distribution behind the unified model layer:
+// every family (modified Zipf–Mandelbrot, power laws, PALU constants,
+// discrete lognormal, truncated power law) implements
+// Name/Params/LogLik/PMF/CDF/Sample.
+type Model = model.Model
+
+// ModelParam is one named fitted parameter.
+type ModelParam = model.Param
+
+// ModelFitResult is a fitted model with its likelihood statistics
+// (LogLik, AIC, BIC) and family diagnostics.
+type ModelFitResult = model.FitResult
+
+// ModelFitter fits one family to a histogram; fitters live in a
+// ModelRegistry under stable names ("zm", "zm-mle", "csn", "plaw",
+// "palu", "lognormal", "truncplaw").
+type ModelFitter = model.Fitter
+
+// ModelRegistry is an ordered, name-unique fitter collection.
+type ModelRegistry = model.Registry
+
+// ModelSelection is the outcome of likelihood-based selection: AIC
+// ranking, Akaike weights, and winner-vs-candidate Vuong tests.
+type ModelSelection = model.Selection
+
+// ModelVuongResult is one normalized log-likelihood-ratio comparison.
+type ModelVuongResult = model.VuongResult
+
+// DefaultModelRegistry returns a fresh registry with every built-in
+// fitter. Registry-routed zm/csn/palu fits are numerically identical to
+// FitZipfMandelbrot/FitPowerLaw/EstimatePALU.
+func DefaultModelRegistry() *ModelRegistry { return model.Default() }
+
+// SelectModels ranks candidate fits on a histogram by AIC and runs the
+// Vuong LLR test between the winner and every runner-up.
+func SelectModels(h *Histogram, results []ModelFitResult) (ModelSelection, error) {
+	return model.Select(h, results)
+}
+
+// VuongTest computes the normalized log-likelihood-ratio statistic
+// between two fitted models on a histogram.
+func VuongTest(h *Histogram, a, b Model) (ModelVuongResult, error) {
+	return model.Vuong(h, a, b)
+}
+
+// ModelSelectionResult is a per-dataset selection table (the
+// "modelsel/..." scenario family's typed result).
+type ModelSelectionResult = experiments.ModelSelectionResult
+
+// RunModelSelectionPALU ranks the approximating families on
+// PALU-generated reference traffic (n <= 0 selects the suite default).
+func RunModelSelectionPALU(seed uint64, n int) (ModelSelectionResult, error) {
+	return experiments.RunModelSelectionPALU(seed, n)
+}
+
+// BootstrapInterval is a two-sided percentile interval from the shared
+// parallel bootstrap engine.
+type BootstrapInterval = boot.Interval
+
+// PALUConfidenceIntervals are bootstrap intervals for the Section IV.B
+// constants.
+type PALUConfidenceIntervals = estimate.ConfidenceIntervals
+
+// ZMConfidenceIntervals are bootstrap intervals for the fitted
+// Zipf–Mandelbrot (α, δ).
+type ZMConfidenceIntervals = zipfmand.ConfidenceIntervals
+
+// BootstrapPALU resamples the histogram and re-runs the Section IV.B
+// pipeline on the shared parallel bootstrap engine (deterministic
+// per-replicate RNG streams; results are worker-count independent).
+func BootstrapPALU(h *Histogram, reps int, level float64, rng *RNG) (PALUConfidenceIntervals, error) {
+	return estimate.BootstrapEstimate(h, estimate.DefaultOptions(), reps, level, rng)
+}
+
+// BootstrapZipfMandelbrot bootstraps (α, δ) percentile intervals for
+// the default least-squares ZM fit.
+func BootstrapZipfMandelbrot(h *Histogram, reps int, level float64, rng *RNG) (ZMConfidenceIntervals, error) {
+	return zipfmand.BootstrapCI(h, zipfmand.DefaultFitOptions(), reps, level, 0, rng)
+}
+
+// BootstrapPowerLawPValue runs the CSN parametric bootstrap
+// goodness-of-fit test on the shared engine.
+func BootstrapPowerLawPValue(h *Histogram, f PowerLawFit, reps int, rng *RNG) (float64, error) {
+	return powerlaw.BootstrapPValue(h, f, reps, rng)
+}
+
 // Packet is one observed packet in a traffic stream.
 type Packet = stream.Packet
 
@@ -231,6 +319,20 @@ type PipelineStats = stream.PipelineStats
 // EnsembleSink accumulates per-quantity cross-window ensembles and merged
 // histograms in O(log dmax) memory, with ZM/CSN/PALU fit finishers.
 type EnsembleSink = stream.EnsembleSink
+
+// FitSink runs registered model fitters on one quantity's histogram of
+// every window inside the pipeline, in window order.
+type FitSink = stream.FitSink
+
+// WindowFits holds one window's model fits (parallel to the sink's
+// fitter names).
+type WindowFits = stream.WindowFits
+
+// NewFitSink returns a sink fitting the named registry fitters (all of
+// them when none are given) to each window's histogram of q.
+func NewFitSink(q Quantity, reg *ModelRegistry, fitters ...string) (*FitSink, error) {
+	return stream.NewFitSink(q, reg, fitters...)
+}
 
 // ResultCollector is a Sink retaining every WindowResult (O(windows)
 // memory; the batch-compatibility bridge).

@@ -197,3 +197,104 @@ func TestFacadeWindower(t *testing.T) {
 		t.Errorf("cut windows = %d", len(cut))
 	}
 }
+
+// TestFacadeModelLayer drives the unified model layer through the
+// facade: registry fits, likelihood selection, Vuong test, per-window
+// FitSink, and the bootstrap intervals.
+func TestFacadeModelLayer(t *testing.T) {
+	params, err := PALUFromWeights(1, 3, 2, 1.5, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FastObservedHistogram(params, 150000, 0.7, NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := DefaultModelRegistry()
+	results, errs, err := reg.FitAll(h, "zm", "zm-mle", "plaw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok []ModelFitResult
+	for i, r := range results {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", r.Fitter, errs[i])
+		}
+		ok = append(ok, r)
+	}
+	sel, err := SelectModels(h, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, found := sel.Best()
+	if !found || best.Model.Name() != "zm" {
+		t.Errorf("winner = %+v, want a zm-family fit", best)
+	}
+	v, err := VuongTest(h, ok[1].Model, ok[2].Model) // zm-mle vs plaw
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Z <= 0 {
+		t.Errorf("Vuong z = %v, want zm-mle favoured", v.Z)
+	}
+	// Registry-routed zm must match the legacy facade fit exactly.
+	legacy, _, err := FitZipfMandelbrot(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zmParams := ok[0].Model.Params()
+	if zmParams[0].Value != legacy.Alpha || zmParams[1].Value != legacy.Delta {
+		t.Errorf("registry zm (%v) != legacy fit (%v, %v)", zmParams, legacy.Alpha, legacy.Delta)
+	}
+}
+
+// TestFacadeFitSinkAndBootstrap streams windows through a FitSink and
+// bootstraps the ZM and PALU intervals.
+func TestFacadeFitSinkAndBootstrap(t *testing.T) {
+	rng := NewRNG(9)
+	packets := make([]Packet, 30000)
+	for i := range packets {
+		dst := uint32(rng.Intn(400))
+		if rng.Float64() < 0.4 {
+			dst = uint32(rng.Intn(5))
+		}
+		packets[i] = Packet{Src: uint32(rng.Intn(3000)), Dst: dst, Valid: true}
+	}
+	sink, err := NewFitSink(SourcePackets, DefaultModelRegistry(), "zm", "plaw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunPipeline(NewSliceSource(packets), PipelineConfig{NV: 15000}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Windows) != stats.Windows || stats.Windows != 2 {
+		t.Fatalf("sink windows = %d, stats %d", len(sink.Windows), stats.Windows)
+	}
+	if _, found := sink.Windows[0].Best(); !found {
+		t.Error("no comparable per-window fit")
+	}
+
+	params, err := PALUFromWeights(2, 2, 1.5, 2.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FastObservedHistogram(params, 60000, 0.5, NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zmCI, err := BootstrapZipfMandelbrot(h, 10, 0.9, NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zmCI.Alpha.Width() <= 0 {
+		t.Errorf("zm alpha CI %+v", zmCI.Alpha)
+	}
+	paluCI, err := BootstrapPALU(h, 12, 0.9, NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(paluCI.Alpha.Lo < paluCI.Alpha.Hi) {
+		t.Errorf("palu alpha CI %+v", paluCI.Alpha)
+	}
+}

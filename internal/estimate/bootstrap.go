@@ -2,24 +2,15 @@ package estimate
 
 import (
 	"errors"
-	"math"
-	"sort"
 
+	"hybridplaw/internal/boot"
 	"hybridplaw/internal/hist"
-	"hybridplaw/internal/stats"
 	"hybridplaw/internal/xrand"
 )
 
-// Interval is a two-sided bootstrap percentile interval.
-type Interval struct {
-	Lo, Hi float64
-}
-
-// Contains reports whether x lies in [Lo, Hi].
-func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
-
-// Width returns Hi − Lo.
-func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+// Interval is a two-sided bootstrap percentile interval (shared with
+// the other bootstrap consumers through the boot engine).
+type Interval = boot.Interval
 
 // ConfidenceIntervals are percentile bootstrap intervals for the Section
 // IV.B estimates — the uncertainty quantification the paper leaves
@@ -35,9 +26,21 @@ type ConfidenceIntervals struct {
 // BootstrapEstimate resamples the degree histogram (nonparametric
 // multinomial bootstrap), re-runs the estimation pipeline on each
 // replicate, and returns percentile intervals at the given level.
-// Replicates whose estimation fails (e.g. degenerate resampled tails) are
-// skipped; at least half must succeed.
+// Replicates whose estimation fails (e.g. degenerate resampled tails)
+// are skipped; at least half must succeed.
+//
+// Replicates run on the shared boot worker pool (GOMAXPROCS workers)
+// with deterministic per-replicate RNG streams, so the intervals are
+// identical to a serial run: see BootstrapEstimateWorkers to pin the
+// pool size.
 func BootstrapEstimate(h *hist.Histogram, opts Options, reps int, level float64, rng *xrand.RNG) (ConfidenceIntervals, error) {
+	return BootstrapEstimateWorkers(h, opts, reps, level, 0, rng)
+}
+
+// BootstrapEstimateWorkers is BootstrapEstimate with an explicit worker
+// count (<= 0 selects GOMAXPROCS, 1 is fully serial). Results are
+// replicate-identical for every worker count.
+func BootstrapEstimateWorkers(h *hist.Histogram, opts Options, reps int, level float64, workers int, rng *xrand.RNG) (ConfidenceIntervals, error) {
 	if h == nil || h.Total() == 0 {
 		return ConfidenceIntervals{}, errors.New("estimate: empty histogram")
 	}
@@ -47,25 +50,20 @@ func BootstrapEstimate(h *hist.Histogram, opts Options, reps int, level float64,
 	if level <= 0 || level >= 1 {
 		return ConfidenceIntervals{}, errors.New("estimate: level must be in (0,1)")
 	}
-	support := h.Support()
-	counts := make([]float64, len(support))
-	for i, d := range support {
-		counts[i] = float64(h.Count(d))
+	results, errs, err := boot.Run(reps, workers, rng,
+		func(rep int, rng *xrand.RNG) (Result, error) {
+			hb, err := boot.ResampleHistogram(h, rng)
+			if err != nil {
+				return Result{}, err
+			}
+			return Estimate(hb, opts)
+		})
+	if err != nil {
+		return ConfidenceIntervals{}, err
 	}
 	var alphas, cs, ls, us, mus []float64
-	n := int(h.Total())
-	for rep := 0; rep < reps; rep++ {
-		resampled := stats.BootstrapCounts(rng, counts, n)
-		hb := hist.New()
-		for i, c := range resampled {
-			if c > 0 {
-				if err := hb.AddN(support[i], int64(c)); err != nil {
-					return ConfidenceIntervals{}, err
-				}
-			}
-		}
-		res, err := Estimate(hb, opts)
-		if err != nil {
+	for rep, res := range results {
+		if errs[rep] != nil {
 			continue
 		}
 		alphas = append(alphas, res.Alpha)
@@ -78,22 +76,10 @@ func BootstrapEstimate(h *hist.Histogram, opts Options, reps int, level float64,
 		return ConfidenceIntervals{}, errors.New("estimate: too many bootstrap replicates failed")
 	}
 	ci := ConfidenceIntervals{Level: level, Reps: len(alphas)}
-	ci.Alpha = percentileInterval(alphas, level)
-	ci.C = percentileInterval(cs, level)
-	ci.L = percentileInterval(ls, level)
-	ci.U = percentileInterval(us, level)
-	ci.Mu = percentileInterval(mus, level)
+	ci.Alpha = boot.PercentileInterval(alphas, level)
+	ci.C = boot.PercentileInterval(cs, level)
+	ci.L = boot.PercentileInterval(ls, level)
+	ci.U = boot.PercentileInterval(us, level)
+	ci.Mu = boot.PercentileInterval(mus, level)
 	return ci, nil
-}
-
-func percentileInterval(xs []float64, level float64) Interval {
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	tail := (1 - level) / 2
-	lo := stats.Quantile(sorted, tail)
-	hi := stats.Quantile(sorted, 1-tail)
-	if math.IsNaN(lo) || math.IsNaN(hi) {
-		return Interval{}
-	}
-	return Interval{Lo: lo, Hi: hi}
 }

@@ -66,6 +66,34 @@ func TestBootstrapEstimateErrors(t *testing.T) {
 	}
 }
 
+// TestBootstrapEstimateParallelSerialIdentical is the hardware-aware
+// equivalence pin: deterministic per-replicate RNG streams make the
+// intervals identical for every worker count, on any machine (speedup
+// itself is asserted only on >= 4 cores, in internal/boot).
+func TestBootstrapEstimateParallelSerialIdentical(t *testing.T) {
+	params, err := palu.FromWeights(2, 2, 1.5, 2.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := palu.FastObservedHistogram(params, 120000, 0.5, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := BootstrapEstimateWorkers(h, DefaultOptions(), 12, 0.9, 1, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		par, err := BootstrapEstimateWorkers(h, DefaultOptions(), 12, 0.9, workers, xrand.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != serial {
+			t.Errorf("workers=%d: CI %+v != serial %+v", workers, par, serial)
+		}
+	}
+}
+
 func TestIntervalHelpers(t *testing.T) {
 	iv := Interval{Lo: 1, Hi: 3}
 	if !iv.Contains(2) || iv.Contains(0.5) || iv.Contains(3.5) {

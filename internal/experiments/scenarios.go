@@ -209,6 +209,53 @@ func Scenarios(seed uint64) []scenario.Scenario {
 		})
 	}
 
+	for _, spec := range netgen.Figure3Panels() {
+		spec := spec
+		csvName := "modelsel_" + spec.ID + ".csv"
+		add(scenario.Scenario{
+			Name:  "modelsel/" + spec.ID,
+			Title: "Model selection: " + spec.ID,
+			Description: fmt.Sprintf(
+				"Likelihood-based selection (AIC/BIC + Vuong LLR) across every registered model family on the %s merged histogram.", spec.ID),
+			Outputs: []string{csvName},
+			Windows: []scenario.WindowReq{{Site: spec.Site, NV: spec.NV, Windows: spec.Windows}},
+			Run: func(ctx *scenario.Context) (scenario.Result, error) {
+				res, err := runModelSelectionPanel(ctx, spec)
+				if err != nil {
+					return nil, err
+				}
+				err = ctx.WriteArtifact(csvName, func(w io.Writer) error {
+					return writeModelSelectionCSV(w, res)
+				})
+				if err != nil {
+					return nil, err
+				}
+				return res, nil
+			},
+		})
+	}
+
+	add(scenario.Scenario{
+		Name:  "modelsel/palu-observed",
+		Title: "Model selection: PALU-generated reference traffic",
+		Description: "Approximating families (ZM, power laws, lognormal, truncated) ranked by likelihood on PALU-generated traffic; " +
+			"the modified Zipf-Mandelbrot family must win.",
+		Outputs: []string{"modelsel_palu_observed.csv"},
+		Run: func(ctx *scenario.Context) (scenario.Result, error) {
+			res, err := RunModelSelectionPALU(seed, baselineN)
+			if err != nil {
+				return nil, err
+			}
+			err = ctx.WriteArtifact("modelsel_palu_observed.csv", func(w io.Writer) error {
+				return writeModelSelectionCSV(w, res)
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	})
+
 	add(scenario.Scenario{
 		Name:        "validation",
 		Title:       "E-V1: Section IV analytic predictions vs simulation",

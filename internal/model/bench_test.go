@@ -1,0 +1,61 @@
+package model
+
+import (
+	"testing"
+
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/palu"
+	"hybridplaw/internal/xrand"
+)
+
+// benchHistogram builds the shared benchmark input once.
+func benchHistogram(b *testing.B) *hist.Histogram {
+	b.Helper()
+	params, err := palu.FromWeights(1, 3, 2, 1.5, 2.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := palu.FastObservedHistogram(params, 200000, 0.7, xrand.New(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkFit measures each registered fitter on a 200k-observation
+// PALU histogram (the CI fit-performance record).
+func BenchmarkFit(b *testing.B) {
+	h := benchHistogram(b)
+	reg := Default()
+	for _, name := range reg.Names() {
+		f, _ := reg.Lookup(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Fit(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelect measures the full fit-all-and-select path.
+func BenchmarkSelect(b *testing.B) {
+	h := benchHistogram(b)
+	reg := Default()
+	for i := 0; i < b.N; i++ {
+		results, errs, err := reg.FitAll(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ok []FitResult
+		for j, r := range results {
+			if errs[j] == nil {
+				ok = append(ok, r)
+			}
+		}
+		if _, err := Select(h, ok); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

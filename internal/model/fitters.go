@@ -1,0 +1,402 @@
+package model
+
+// The Fitter registry: every fitting procedure in the repository behind
+// one entry point. The zm/csn/palu fitters delegate to the untouched
+// legacy estimators (zipfmand.Fit, powerlaw.FitScan, estimate.Estimate),
+// so registry-routed fits are numerically identical to direct calls —
+// the equivalence pin the refactor preserves. The lognormal and
+// truncplaw fitters are maximum-likelihood via Nelder–Mead on the
+// shared finite-support log-likelihood.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hybridplaw/internal/estimate"
+	"hybridplaw/internal/hist"
+	"hybridplaw/internal/powerlaw"
+	"hybridplaw/internal/stats"
+	"hybridplaw/internal/zipfmand"
+)
+
+// FitResult is a fitted model with its likelihood-based selection
+// statistics and family-specific diagnostics.
+type FitResult struct {
+	// Fitter is the registry name that produced the fit.
+	Fitter string
+	// Model is the fitted distribution.
+	Model Model
+	// K is the number of free parameters charged by AIC/BIC.
+	K int
+	// N is the number of observations behind the likelihood.
+	N int64
+	// LogLik is the finite-support multinomial log-likelihood; -Inf when
+	// the model excludes observed degrees.
+	LogLik float64
+	// AIC is 2K − 2·LogLik; BIC is K·ln N − 2·LogLik.
+	AIC, BIC float64
+	// Diag carries family-specific diagnostics under stable keys
+	// ("sse", "ks", "xmin", "tail_r2", ...).
+	Diag map[string]float64
+}
+
+// Comparable reports whether the fit participates in likelihood ranking
+// (finite log-likelihood).
+func (r FitResult) Comparable() bool {
+	return !math.IsInf(r.LogLik, 0) && !math.IsNaN(r.LogLik)
+}
+
+// ParamString renders the fitted parameters compactly.
+func (r FitResult) ParamString() string { return paramString(r.Model.Params()) }
+
+// Fitter fits one model family to a degree histogram.
+type Fitter interface {
+	// Name is the unique registry key ("zm", "csn", ...).
+	Name() string
+	// Fit runs the procedure.
+	Fit(h *hist.Histogram) (FitResult, error)
+}
+
+// finish fills the shared likelihood statistics of a fit.
+func finish(name string, m Model, k int, h *hist.Histogram, diag map[string]float64) (FitResult, error) {
+	ll, err := m.LogLik(h)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("model: %s log-likelihood: %w", name, err)
+	}
+	n := h.Total()
+	return FitResult{
+		Fitter: name,
+		Model:  m,
+		K:      k,
+		N:      n,
+		LogLik: ll,
+		AIC:    2*float64(k) - 2*ll,
+		BIC:    float64(k)*math.Log(float64(n)) - 2*ll,
+		Diag:   diag,
+	}, nil
+}
+
+// Registry is an ordered, name-unique fitter collection. Registration
+// order is the canonical presentation order. Build once at startup;
+// building is not safe for concurrent use, reading is.
+type Registry struct {
+	order  []string
+	byName map[string]Fitter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Fitter)}
+}
+
+// Register validates and adds a fitter.
+func (r *Registry) Register(f Fitter) error {
+	if f == nil || f.Name() == "" {
+		return errors.New("model: fitter must have a name")
+	}
+	if _, ok := r.byName[f.Name()]; ok {
+		return fmt.Errorf("model: duplicate fitter %q", f.Name())
+	}
+	r.byName[f.Name()] = f
+	r.order = append(r.order, f.Name())
+	return nil
+}
+
+// MustRegister registers, panicking on error (for static tables).
+func (r *Registry) MustRegister(f Fitter) {
+	if err := r.Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named fitter.
+func (r *Registry) Lookup(name string) (Fitter, bool) {
+	f, ok := r.byName[name]
+	return f, ok
+}
+
+// Names returns every fitter name in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// FitAll runs the named fitters (all registered, in order, when names is
+// empty) against the histogram. results and errs are parallel to the
+// resolved name list: a failed fit leaves a zero FitResult and its error
+// so one thin tail does not hide the other families. An unknown name is
+// an immediate error.
+func (r *Registry) FitAll(h *hist.Histogram, names ...string) (results []FitResult, errs []error, err error) {
+	if len(names) == 0 {
+		names = r.Names()
+	}
+	results = make([]FitResult, len(names))
+	errs = make([]error, len(names))
+	for i, name := range names {
+		f, ok := r.Lookup(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("model: unknown fitter %q (have: %v)", name, r.Names())
+		}
+		results[i], errs[i] = f.Fit(h)
+	}
+	return results, errs, nil
+}
+
+// Default returns a fresh registry holding every built-in fitter in
+// canonical order: zm, zm-mle, csn, plaw, palu, lognormal, truncplaw.
+func Default() *Registry {
+	r := NewRegistry()
+	r.MustRegister(ZMFitter{Opts: zipfmand.DefaultFitOptions()})
+	r.MustRegister(ZMMLEFitter{LSOpts: zipfmand.DefaultFitOptions()})
+	r.MustRegister(CSNFitter{})
+	r.MustRegister(PowerLawFitter{})
+	r.MustRegister(PALUFitter{Opts: estimate.DefaultOptions()})
+	r.MustRegister(LognormalFitter{})
+	r.MustRegister(TruncPowerLawFitter{})
+	return r
+}
+
+// ZMFitter wraps the Section II.B least-squares fit (zipfmand.Fit) —
+// numerically identical to the legacy path.
+type ZMFitter struct {
+	Opts zipfmand.FitOptions
+}
+
+// Name implements Fitter.
+func (ZMFitter) Name() string { return "zm" }
+
+// Fit implements Fitter.
+func (f ZMFitter) Fit(h *hist.Histogram) (FitResult, error) {
+	if err := validateHist(h); err != nil {
+		return FitResult{}, err
+	}
+	fr, _, err := zipfmand.FitHistogram(h, f.Opts)
+	if err != nil {
+		return FitResult{}, err
+	}
+	m := &ZM{ZM: fr.Model, SupportMax: h.MaxDegree()}
+	return finish(f.Name(), m, 2, h, map[string]float64{
+		"sse": fr.SSE, "ks": fr.KS, "iters": float64(fr.Iters),
+	})
+}
+
+// ZMMLEFitter refines the modified Zipf–Mandelbrot family by maximum
+// likelihood. The Section II.B least-squares fit weights pooled bins
+// equally in log space (the Fig. 3 plotting objective), which can give
+// up large amounts of likelihood at the mass-dominant low degrees;
+// likelihood-based selection should judge each family by its best
+// likelihood, so this fitter starts Nelder–Mead from the legacy
+// least-squares optimum (plus fixed fallback starts) and maximizes the
+// multinomial likelihood directly. Registered as "zm-mle"; the model
+// family is still "zm".
+type ZMMLEFitter struct {
+	// LSOpts configures the least-squares fit seeding the starts.
+	LSOpts zipfmand.FitOptions
+}
+
+// Name implements Fitter.
+func (ZMMLEFitter) Name() string { return "zm-mle" }
+
+// Fit implements Fitter.
+func (f ZMMLEFitter) Fit(h *hist.Histogram) (FitResult, error) {
+	if err := validateHist(h); err != nil {
+		return FitResult{}, err
+	}
+	dmax := h.MaxDegree()
+	objective := func(x []float64) float64 {
+		m := ZM{ZM: zipfmand.Model{Alpha: x[0], Delta: x[1]}}
+		if m.ZM.Alpha <= 0.05 || m.ZM.Alpha > 12 || m.ZM.Delta <= -0.999 || m.ZM.Delta > 50 {
+			return math.NaN()
+		}
+		ll, err := m.LogLik(h)
+		if err != nil || math.IsInf(ll, 0) || math.IsNaN(ll) {
+			return math.NaN()
+		}
+		return -ll
+	}
+	starts := [][]float64{{1.5, -0.5}, {2.0, 0.0}, {2.5, -0.8}}
+	if ls, _, err := zipfmand.FitHistogram(h, f.LSOpts); err == nil {
+		starts = append([][]float64{{ls.Alpha, ls.Delta}}, starts...)
+	}
+	res, err := stats.MultiStartNelderMead(objective, starts, 0.25, 1e-10, 2000)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("model: zm-mle fit failed: %w", err)
+	}
+	m := &ZM{ZM: zipfmand.Model{Alpha: res.X[0], Delta: res.X[1]}, SupportMax: dmax}
+	return finish(f.Name(), m, 2, h, map[string]float64{
+		"iters": float64(res.Iters),
+	})
+}
+
+// CSNFitter wraps the Clauset–Shalizi–Newman procedure
+// (powerlaw.FitScan: KS-optimal xmin, MLE exponent) — numerically
+// identical to the legacy path. MaxXmin caps the scan (0: the legacy
+// 90th-percentile default).
+type CSNFitter struct {
+	MaxXmin int
+}
+
+// Name implements Fitter.
+func (CSNFitter) Name() string { return "csn" }
+
+// Fit implements Fitter.
+func (f CSNFitter) Fit(h *hist.Histogram) (FitResult, error) {
+	if err := validateHist(h); err != nil {
+		return FitResult{}, err
+	}
+	fit, err := powerlaw.FitScan(h, f.MaxXmin)
+	if err != nil {
+		return FitResult{}, err
+	}
+	m, err := NewCSN(fit, h)
+	if err != nil {
+		return FitResult{}, err
+	}
+	// Charge the exponent, the cutoff, and the empirical head cells (the
+	// sum-to-one constraint cancels the tail-mass parameter).
+	k := 2 + m.HeadCells()
+	return finish(f.Name(), m, k, h, map[string]float64{
+		"ks": fit.KS, "xmin": float64(fit.Xmin), "ntail": float64(fit.NTail),
+	})
+}
+
+// PowerLawFitter is the single-parameter whole-distribution power law:
+// the xmin=1 MLE the deprecated powerlaw.Compare baseline uses —
+// numerically identical to powerlaw.FitAtXmin(h, 1).
+type PowerLawFitter struct{}
+
+// Name implements Fitter.
+func (PowerLawFitter) Name() string { return "plaw" }
+
+// Fit implements Fitter.
+func (f PowerLawFitter) Fit(h *hist.Histogram) (FitResult, error) {
+	if err := validateHist(h); err != nil {
+		return FitResult{}, err
+	}
+	fit, err := powerlaw.FitAtXmin(h, 1)
+	if err != nil {
+		return FitResult{}, err
+	}
+	m := &PowerLaw{Alpha: fit.Alpha, Xmin: 1, SupportMax: h.MaxDegree()}
+	return finish(f.Name(), m, 1, h, map[string]float64{"ks": fit.KS})
+}
+
+// PALUFitter wraps the Section IV.B estimation pipeline
+// (estimate.Estimate) — numerically identical to the legacy path.
+type PALUFitter struct {
+	Opts estimate.Options
+}
+
+// Name implements Fitter.
+func (PALUFitter) Name() string { return "palu" }
+
+// Fit implements Fitter.
+func (f PALUFitter) Fit(h *hist.Histogram) (FitResult, error) {
+	if err := validateHist(h); err != nil {
+		return FitResult{}, err
+	}
+	res, err := estimate.Estimate(h, f.Opts)
+	if err != nil {
+		return FitResult{}, err
+	}
+	m := &PALU{Constants: res.Constants(), SupportMax: h.MaxDegree()}
+	return finish(f.Name(), m, 5, h, map[string]float64{
+		"tail_r2": res.TailR2, "tail_points": float64(res.TailPoints),
+	})
+}
+
+// LognormalFitter fits the discrete lognormal by maximum likelihood
+// (multi-start Nelder–Mead from moment-based starts).
+type LognormalFitter struct{}
+
+// Name implements Fitter.
+func (LognormalFitter) Name() string { return "lognormal" }
+
+// Fit implements Fitter.
+func (f LognormalFitter) Fit(h *hist.Histogram) (FitResult, error) {
+	if err := validateHist(h); err != nil {
+		return FitResult{}, err
+	}
+	dmax := h.MaxDegree()
+	// Moment-based starts from the count-weighted log-degree sample.
+	mu0, sd0 := logMoments(h)
+	objective := func(x []float64) float64 {
+		m := Lognormal{Mu: x[0], Sigma: x[1]}
+		if m.Sigma < 0.05 || m.Sigma > 20 || math.Abs(m.Mu) > 40 {
+			return math.NaN()
+		}
+		ll, err := m.LogLik(h)
+		if err != nil || math.IsInf(ll, 0) || math.IsNaN(ll) {
+			return math.NaN()
+		}
+		return -ll
+	}
+	starts := [][]float64{
+		{mu0, sd0}, {mu0, 2 * sd0}, {mu0 - 1, sd0 + 0.5},
+	}
+	res, err := stats.MultiStartNelderMead(objective, starts, 0.25, 1e-10, 2000)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("model: lognormal fit failed: %w", err)
+	}
+	m := &Lognormal{Mu: res.X[0], Sigma: res.X[1], SupportMax: dmax}
+	return finish(f.Name(), m, 2, h, map[string]float64{
+		"iters": float64(res.Iters),
+	})
+}
+
+// logMoments returns the count-weighted mean and standard deviation of
+// ln d over the histogram (floored away from degenerate zero spread).
+func logMoments(h *hist.Histogram) (mean, sd float64) {
+	total := float64(h.Total())
+	for _, d := range h.Support() {
+		mean += float64(h.Count(d)) * math.Log(float64(d))
+	}
+	mean /= total
+	var varSum float64
+	for _, d := range h.Support() {
+		r := math.Log(float64(d)) - mean
+		varSum += float64(h.Count(d)) * r * r
+	}
+	sd = math.Sqrt(varSum / total)
+	if sd < 0.25 {
+		sd = 0.25
+	}
+	return mean, sd
+}
+
+// TruncPowerLawFitter fits the truncated (exponential-cutoff) power law
+// by maximum likelihood.
+type TruncPowerLawFitter struct{}
+
+// Name implements Fitter.
+func (TruncPowerLawFitter) Name() string { return "truncplaw" }
+
+// Fit implements Fitter.
+func (f TruncPowerLawFitter) Fit(h *hist.Histogram) (FitResult, error) {
+	if err := validateHist(h); err != nil {
+		return FitResult{}, err
+	}
+	dmax := h.MaxDegree()
+	objective := func(x []float64) float64 {
+		m := TruncPowerLaw{Alpha: x[0], Lambda: x[1]}
+		if m.Alpha < 0.05 || m.Alpha > 12 || m.Lambda < 0 || m.Lambda > 2 {
+			return math.NaN()
+		}
+		ll, err := m.LogLik(h)
+		if err != nil || math.IsInf(ll, 0) || math.IsNaN(ll) {
+			return math.NaN()
+		}
+		return -ll
+	}
+	starts := [][]float64{
+		{1.5, 1e-4}, {2.2, 1e-3}, {2.8, 1e-2}, {1.2, 0.1},
+	}
+	res, err := stats.MultiStartNelderMead(objective, starts, 0.2, 1e-10, 2000)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("model: truncated power-law fit failed: %w", err)
+	}
+	m := &TruncPowerLaw{Alpha: res.X[0], Lambda: res.X[1], SupportMax: dmax}
+	return finish(f.Name(), m, 2, h, map[string]float64{
+		"iters": float64(res.Iters),
+	})
+}

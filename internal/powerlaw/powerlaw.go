@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"hybridplaw/internal/boot"
 	"hybridplaw/internal/hist"
 	"hybridplaw/internal/specialfn"
 	"hybridplaw/internal/stats"
@@ -191,7 +192,18 @@ func (f Fit) Sample(n int, rng *xrand.RNG) ([]int64, error) {
 // distribution below xmin, refit, and the p-value is the fraction whose KS
 // statistic exceeds the observed one. reps around 100 gives ±0.05
 // resolution; the paper's threshold for "plausible" is p > 0.1.
+//
+// Replicates run on the shared boot worker pool (GOMAXPROCS workers)
+// with deterministic per-replicate RNG streams; see
+// BootstrapPValueWorkers to pin the pool size. The p-value is
+// replicate-identical for every worker count.
 func BootstrapPValue(h *hist.Histogram, f Fit, reps int, rng *xrand.RNG) (float64, error) {
+	return BootstrapPValueWorkers(h, f, reps, 0, rng)
+}
+
+// BootstrapPValueWorkers is BootstrapPValue with an explicit worker
+// count (<= 0 selects GOMAXPROCS, 1 is fully serial).
+func BootstrapPValueWorkers(h *hist.Histogram, f Fit, reps, workers int, rng *xrand.RNG) (float64, error) {
 	if reps <= 0 {
 		return 0, errors.New("powerlaw: reps must be positive")
 	}
@@ -219,29 +231,43 @@ func BootstrapPValue(h *hist.Histogram, f Fit, reps int, rng *xrand.RNG) (float6
 		}
 	}
 	pTail := float64(nTail) / float64(n)
-	exceed := 0
-	for rep := 0; rep < reps; rep++ {
-		synth := hist.New()
-		for i := int64(0); i < n; i++ {
-			if rng.Float64() < pTail || headAlias == nil {
-				s, err := f.Sample(1, rng)
-				if err != nil {
-					return 0, err
-				}
-				if err := synth.Add(int(s[0])); err != nil {
-					return 0, err
-				}
-			} else {
-				if err := synth.Add(headDegrees[headAlias.Draw(rng)]); err != nil {
-					return 0, err
+	// One replicate: synthesize, refit, report whether the refit KS
+	// exceeds the observed one. Refit failures (degenerate resampled
+	// tails) are skipped, matching the serial behaviour.
+	type verdict struct{ exceed, skipped bool }
+	results, errs, err := boot.Run(reps, workers, rng,
+		func(rep int, rng *xrand.RNG) (verdict, error) {
+			synth := hist.New()
+			for i := int64(0); i < n; i++ {
+				if rng.Float64() < pTail || headAlias == nil {
+					s, err := f.Sample(1, rng)
+					if err != nil {
+						return verdict{}, err
+					}
+					if err := synth.Add(int(s[0])); err != nil {
+						return verdict{}, err
+					}
+				} else {
+					if err := synth.Add(headDegrees[headAlias.Draw(rng)]); err != nil {
+						return verdict{}, err
+					}
 				}
 			}
+			sf, err := FitScan(synth, 0)
+			if err != nil {
+				return verdict{skipped: true}, nil
+			}
+			return verdict{exceed: sf.KS > f.KS}, nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	exceed := 0
+	for rep, v := range results {
+		if errs[rep] != nil {
+			return 0, errs[rep]
 		}
-		sf, err := FitScan(synth, 0)
-		if err != nil {
-			continue
-		}
-		if sf.KS > f.KS {
+		if v.exceed {
 			exceed++
 		}
 	}
@@ -255,6 +281,13 @@ func BootstrapPValue(h *hist.Histogram, f Fit, reps int, rng *xrand.RNG) (float6
 // the dominant d=1 mass by steepening α and keeps the CDF distance small
 // while the log-log tail is off by decades; the pooled log view exposes
 // exactly the failure the paper describes (experiment E-X2).
+//
+// Deprecated: the pooled log-SSE contrast has no parameter-count penalty
+// and no sampling distribution. New code should use the likelihood-based
+// selection of internal/model (model.Select ranks registered families by
+// AIC/BIC and model.Vuong provides the normalized log-likelihood-ratio
+// test). Comparison is kept so legacy callers and the E-X2 CSV/summary
+// outputs stay byte-stable.
 type Comparison struct {
 	// PowerLawLogSSE is the pooled log-residual SSE of the best single
 	// power law (xmin=1 MLE).
@@ -273,6 +306,9 @@ type Comparison struct {
 // PooledLogSSE returns the sum of squared log residuals between an
 // observed pooled distribution and a model pooled distribution, over bins
 // where both are positive.
+//
+// Deprecated: retained as the diagnostic behind the legacy Comparison
+// outputs; model selection should use model.Select / model.Vuong.
 func PooledLogSSE(obs, model []float64) float64 {
 	var sse float64
 	for i := range obs {
@@ -288,6 +324,10 @@ func PooledLogSSE(obs, model []float64) float64 {
 // Compare fits the CSN model at xmin=1 (a single-parameter description of
 // the whole distribution, as a webcrawl-era analysis would) and contrasts
 // its pooled log error with a competitor's.
+//
+// Deprecated: see Comparison. The xmin=1 MLE it reports is exactly the
+// "plaw" registry entry of internal/model, where the same contrast is
+// available as a likelihood ratio with a significance level.
 func Compare(h *hist.Histogram, competitorLogSSE float64) (Comparison, error) {
 	f, err := FitAtXmin(h, 1)
 	if err != nil {

@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"testing"
+
+	"hybridplaw/internal/model"
+	"hybridplaw/internal/xrand"
+	"hybridplaw/internal/zipfmand"
+)
+
+// fitSinkPackets synthesizes a small leaf-heavy trace for the sink
+// tests.
+func fitSinkPackets(n int, seed uint64) []Packet {
+	rng := xrand.New(seed)
+	packets := make([]Packet, n)
+	for i := range packets {
+		// Zipf-ish sources towards a few hot destinations: enough tail
+		// for every fitter on a 20k-packet window.
+		src := uint32(rng.Intn(4000))
+		dst := uint32(rng.Intn(300))
+		if rng.Float64() < 0.3 {
+			dst = uint32(rng.Intn(8))
+		}
+		packets[i] = Packet{Src: src, Dst: dst, Valid: true}
+	}
+	return packets
+}
+
+func TestFitSinkPerWindowEquivalence(t *testing.T) {
+	packets := fitSinkPackets(60000, 5)
+	reg := model.Default()
+	sink, err := NewFitSink(SourcePackets, reg, "zm", "plaw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := &ResultCollector{}
+	stats, err := Run(NewSliceSource(packets), PipelineConfig{NV: 20000}, sink, collector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Windows) != stats.Windows || stats.Windows != 3 {
+		t.Fatalf("fits for %d windows, stats %d", len(sink.Windows), stats.Windows)
+	}
+	// The sink's registry-routed per-window ZM fit must equal fitting the
+	// window histogram directly (the legacy path).
+	for i, w := range sink.Windows {
+		if w.T != i {
+			t.Errorf("window %d has T=%d", i, w.T)
+		}
+		h := collector.Results[i].Hists[SourcePackets]
+		legacy, _, err := zipfmand.FitHistogram(h, zipfmand.DefaultFitOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sink.Fit(w.T, "zm")
+		if err != nil {
+			t.Fatalf("window %d zm: %v", w.T, err)
+		}
+		zm := got.Model.(*model.ZM)
+		if zm.ZM != legacy.Model {
+			t.Errorf("window %d: sink fit %+v != direct %+v", w.T, zm.ZM, legacy.Model)
+		}
+		if _, found := w.Best(); !found {
+			t.Errorf("window %d: no comparable fit", w.T)
+		}
+	}
+}
+
+func TestFitSinkRecordsPerWindowErrors(t *testing.T) {
+	// Two-degree windows defeat the PALU tail regression; the pipeline
+	// must still complete with the failure recorded.
+	packets := make([]Packet, 400)
+	for i := range packets {
+		packets[i] = Packet{Src: uint32(i % 200), Dst: 0, Valid: true}
+	}
+	reg := model.Default()
+	sink, err := NewFitSink(SourcePackets, reg, "palu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(NewSliceSource(packets), PipelineConfig{NV: 400}, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Windows) != 1 {
+		t.Fatalf("windows = %d", len(sink.Windows))
+	}
+	if sink.Windows[0].Errs[0] == nil {
+		t.Error("expected recorded per-window fit error")
+	}
+	if _, err := sink.Fit(0, "palu"); err == nil {
+		t.Error("Fit should surface the recorded error")
+	}
+}
+
+func TestFitSinkValidation(t *testing.T) {
+	reg := model.Default()
+	if _, err := NewFitSink(Quantity(99), reg); err == nil {
+		t.Error("invalid quantity: expected error")
+	}
+	if _, err := NewFitSink(SourcePackets, nil); err == nil {
+		t.Error("nil registry: expected error")
+	}
+	if _, err := NewFitSink(SourcePackets, reg, "nope"); err == nil {
+		t.Error("unknown fitter: expected error")
+	}
+	sink, err := NewFitSink(SourcePackets, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.Fitters()); got != len(reg.Names()) {
+		t.Errorf("default fitter list has %d entries, want %d", got, len(reg.Names()))
+	}
+	if _, err := sink.Fit(0, "zm"); err == nil {
+		t.Error("no windows consumed: expected error")
+	}
+}
