@@ -1,0 +1,347 @@
+// Command palu-bench runs the repo's pinned hot-path benchmarks —
+// streaming window reduce (serial and sharded), PTRC archive replay
+// (sequential and parallel decode), and model fitting — and writes a
+// machine-readable JSON record. BENCH_PR5.json at the repo root is the
+// committed perf trajectory; CI re-runs the suite and compares against
+// it benchstat-style.
+//
+// Usage:
+//
+//	palu-bench -out BENCH_PR5.json                    # run + record
+//	palu-bench -out /tmp/b.json -compare BENCH_PR5.json -max-regression 5
+//	palu-bench -packets 500000 -replay-packets 200000 # smaller workloads
+//
+// With -compare, per-benchmark ns/op ratios are printed and the exit
+// status is non-zero when any pinned benchmark regressed beyond
+// -max-regression (a multiplicative bound; cross-machine comparisons
+// need generous slack).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"hybridplaw/internal/model"
+	"hybridplaw/internal/palu"
+	"hybridplaw/internal/stream"
+	"hybridplaw/internal/tracestore"
+	"hybridplaw/internal/xrand"
+	"hybridplaw/internal/zipfmand"
+)
+
+// Record is the JSON schema of a palu-bench run.
+type Record struct {
+	Schema  string  `json:"schema"`
+	Go      string  `json:"go"`
+	CPUs    int     `json:"cpus"`
+	Results []Bench `json:"benchmarks"`
+}
+
+// Bench is one pinned benchmark's measurement.
+type Bench struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	MBPerS       float64 `json:"mb_per_s,omitempty"`
+	MPacketsPerS float64 `json:"mpackets_per_s,omitempty"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+}
+
+const schemaV1 = "palu-bench-v1"
+
+// measure runs fn repeatedly (after one warm-up) until minTime has
+// accumulated or maxIters runs completed, and reports the minimum
+// wall-clock ns/op with mean allocation counts.
+func measure(name string, minTime time.Duration, maxIters int, fn func() error) (Bench, error) {
+	if err := fn(); err != nil { // warm-up: page in code, size pools
+		return Bench{}, fmt.Errorf("%s: %w", name, err)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	best := time.Duration(1<<63 - 1)
+	var total time.Duration
+	iters := 0
+	for iters < maxIters && (iters == 0 || total < minTime) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return Bench{}, fmt.Errorf("%s: %w", name, err)
+		}
+		d := time.Since(start)
+		if d < best {
+			best = d
+		}
+		total += d
+		iters++
+	}
+	runtime.ReadMemStats(&ms1)
+	return Bench{
+		Name:        name,
+		NsPerOp:     float64(best.Nanoseconds()),
+		AllocsPerOp: (ms1.Mallocs - ms0.Mallocs) / uint64(iters),
+		BytesPerOp:  (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(iters),
+	}, nil
+}
+
+// synthTrace deterministically generates a hub-skewed random trace.
+type synthTrace struct {
+	r     *xrand.RNG
+	n, i  int64
+	nodes int
+}
+
+func newSynthTrace(seed uint64, n int64, nodes int) *synthTrace {
+	return &synthTrace{r: xrand.New(seed), n: n, nodes: nodes}
+}
+
+func (s *synthTrace) Next() (stream.Packet, bool) {
+	if s.i >= s.n {
+		return stream.Packet{}, false
+	}
+	s.i++
+	p := stream.Packet{Src: uint32(s.r.Intn(s.nodes)), Dst: uint32(s.r.Intn(s.nodes)), Valid: true}
+	if s.r.Intn(4) == 0 {
+		p.Dst = uint32(s.r.Intn(16))
+	}
+	return p, true
+}
+
+func (s *synthTrace) Err() error { return nil }
+
+// suiteConfig sizes the pinned workloads.
+type suiteConfig struct {
+	packets       int64 // pipeline trace length
+	replayPackets int64 // PTRC archive length
+	fitN          int   // observed-histogram sample size for the fit benchmarks
+	minTime       time.Duration
+	maxIters      int
+}
+
+// runSuite executes every pinned benchmark and returns the record.
+func runSuite(cfg suiteConfig) (Record, error) {
+	rec := Record{Schema: schemaV1, Go: runtime.Version(), CPUs: runtime.NumCPU()}
+	nv := cfg.packets / 8
+	if nv < 1 {
+		nv = 1
+	}
+	shards := runtime.NumCPU()
+	if shards > stream.MaxShards {
+		shards = stream.MaxShards
+	}
+	const nodes = 1 << 13
+
+	pipeline := func(shards int) func() error {
+		return func() error {
+			src := newSynthTrace(2, cfg.packets, nodes)
+			_, err := stream.Run(src, stream.PipelineConfig{NV: nv, Workers: 1, Shards: shards})
+			return err
+		}
+	}
+	add := func(b Bench, err error) error {
+		if err != nil {
+			return err
+		}
+		rec.Results = append(rec.Results, b)
+		return nil
+	}
+
+	b, err := measure("pipeline-reduce-serial", cfg.minTime, cfg.maxIters, pipeline(1))
+	b.MPacketsPerS = float64(cfg.packets) / (b.NsPerOp / 1e9) / 1e6
+	if err := add(b, err); err != nil {
+		return rec, err
+	}
+	b, err = measure("pipeline-reduce-sharded", cfg.minTime, cfg.maxIters, pipeline(shards))
+	b.MPacketsPerS = float64(cfg.packets) / (b.NsPerOp / 1e9) / 1e6
+	if err := add(b, err); err != nil {
+		return rec, err
+	}
+
+	// PTRC replay: one in-memory archive, replayed through the pipeline.
+	var archive bytes.Buffer
+	if _, err := tracestore.Record(&archive,
+		newSynthTrace(3, cfg.replayPackets, nodes), tracestore.WriterOptions{}); err != nil {
+		return rec, err
+	}
+	raw := archive.Bytes()
+	replayNV := cfg.replayPackets / 8
+	if replayNV < 1 {
+		replayNV = 1
+	}
+	b, err = measure("ptrc-replay-sequential", cfg.minTime, cfg.maxIters, func() error {
+		src, err := tracestore.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		_, err = stream.Run(src, stream.PipelineConfig{NV: replayNV, Workers: 1})
+		return err
+	})
+	b.MBPerS = float64(len(raw)) / (b.NsPerOp / 1e9) / 1e6
+	if err := add(b, err); err != nil {
+		return rec, err
+	}
+	b, err = measure("ptrc-replay-parallel", cfg.minTime, cfg.maxIters, func() error {
+		src, err := tracestore.NewParallelReader(bytes.NewReader(raw), int64(len(raw)),
+			tracestore.ParallelOptions{})
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		_, err = stream.Run(src, stream.PipelineConfig{NV: replayNV})
+		return err
+	})
+	b.MBPerS = float64(len(raw)) / (b.NsPerOp / 1e9) / 1e6
+	if err := add(b, err); err != nil {
+		return rec, err
+	}
+
+	// Fitting: one PALU-generated observed histogram, the ZM fit and the
+	// full registry pass over it.
+	params, err := palu.FromWeights(2, 2, 1.5, 2.5, 2.0)
+	if err != nil {
+		return rec, err
+	}
+	h, err := palu.FastObservedHistogram(params, cfg.fitN, 0.5, xrand.New(11))
+	if err != nil {
+		return rec, err
+	}
+	if err := add(measure("fit-zm", cfg.minTime, cfg.maxIters, func() error {
+		_, _, err := zipfmand.FitHistogram(h, zipfmand.DefaultFitOptions())
+		return err
+	})); err != nil {
+		return rec, err
+	}
+	reg := model.Default()
+	if err := add(measure("fit-registry", cfg.minTime, cfg.maxIters, func() error {
+		results, errs, err := reg.FitAll(h)
+		if err != nil {
+			return err
+		}
+		ok := results[:0]
+		for i, r := range results {
+			if errs[i] == nil {
+				ok = append(ok, r)
+			}
+		}
+		_, err = model.Select(h, ok)
+		return err
+	})); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// compare prints a benchstat-style table of cur against base and
+// returns the names whose ns/op regressed beyond maxRegression (<= 0
+// disables the gate; ratios are still printed).
+func compare(w *log.Logger, base, cur Record, maxRegression float64) []string {
+	byName := make(map[string]Bench, len(cur.Results))
+	for _, b := range cur.Results {
+		byName[b.Name] = b
+	}
+	var failed []string
+	w.Printf("%-26s %14s %14s %8s", "benchmark", "base ns/op", "now ns/op", "ratio")
+	for _, b := range base.Results {
+		c, ok := byName[b.Name]
+		if !ok {
+			w.Printf("%-26s %14.0f %14s %8s", b.Name, b.NsPerOp, "MISSING", "-")
+			failed = append(failed, b.Name+" (missing)")
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		w.Printf("%-26s %14.0f %14.0f %7.2fx", b.Name, b.NsPerOp, c.NsPerOp, ratio)
+		if maxRegression > 0 && ratio > maxRegression {
+			failed = append(failed, fmt.Sprintf("%s (%.2fx > %.2fx)", b.Name, ratio, maxRegression))
+		}
+	}
+	return failed
+}
+
+func writeRecord(path string, rec Record) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readRecord(path string) (Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Record{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Schema != schemaV1 {
+		return Record{}, fmt.Errorf("%s: unknown schema %q", path, rec.Schema)
+	}
+	return rec, nil
+}
+
+func run(args []string, logger *log.Logger) error {
+	fs := flag.NewFlagSet("palu-bench", flag.ContinueOnError)
+	var (
+		out           = fs.String("out", "BENCH_PR5.json", "output JSON path")
+		comparePath   = fs.String("compare", "", "baseline JSON to compare against (benchstat-style ratios)")
+		maxRegression = fs.Float64("max-regression", 0, "fail when any ns/op ratio vs the baseline exceeds this factor (0 = report only)")
+		packets       = fs.Int64("packets", 2_000_000, "pipeline benchmark trace length in packets")
+		replayPackets = fs.Int64("replay-packets", 500_000, "PTRC replay benchmark archive length in packets")
+		fitN          = fs.Int("fit-n", 300_000, "observed-histogram sample size for the fit benchmarks")
+		minTime       = fs.Duration("min-time", time.Second, "minimum accumulated run time per benchmark")
+		maxIters      = fs.Int("max-iters", 5, "maximum iterations per benchmark")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := runSuite(suiteConfig{
+		packets:       *packets,
+		replayPackets: *replayPackets,
+		fitN:          *fitN,
+		minTime:       *minTime,
+		maxIters:      *maxIters,
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range rec.Results {
+		extra := ""
+		if b.MPacketsPerS > 0 {
+			extra = fmt.Sprintf("  %8.2f Mpackets/s", b.MPacketsPerS)
+		}
+		if b.MBPerS > 0 {
+			extra = fmt.Sprintf("  %8.2f MB/s", b.MBPerS)
+		}
+		logger.Printf("%-26s %14.0f ns/op%s  %d allocs/op", b.Name, b.NsPerOp, extra, b.AllocsPerOp)
+	}
+	if *out != "" {
+		if err := writeRecord(*out, rec); err != nil {
+			return err
+		}
+		logger.Printf("wrote %s", *out)
+	}
+	if *comparePath != "" {
+		base, err := readRecord(*comparePath)
+		if err != nil {
+			return err
+		}
+		if failed := compare(logger, base, rec, *maxRegression); len(failed) > 0 {
+			return fmt.Errorf("benchmarks regressed beyond the gate: %v", failed)
+		}
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	logger := log.New(os.Stderr, "palu-bench: ", 0)
+	if err := run(os.Args[1:], logger); err != nil {
+		logger.Fatal(err)
+	}
+}

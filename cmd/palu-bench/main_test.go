@@ -1,0 +1,101 @@
+package main
+
+import (
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quiet() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// TestSuiteAndCompareRoundTrip runs the pinned suite at tiny scale,
+// records it, and verifies the compare path: identical records pass any
+// gate, inflated baselines trip it, and missing benchmarks fail.
+func TestSuiteAndCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	args := []string{
+		"-out", out,
+		"-packets", "20000", "-replay-packets", "10000", "-fit-n", "20000",
+		"-min-time", "1ms", "-max-iters", "1",
+	}
+	if err := run(args, quiet()); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := readRecord(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"pipeline-reduce-serial", "pipeline-reduce-sharded",
+		"ptrc-replay-sequential", "ptrc-replay-parallel",
+		"fit-zm", "fit-registry",
+	}
+	if len(rec.Results) != len(want) {
+		t.Fatalf("suite ran %d benchmarks, want %d: %+v", len(rec.Results), len(want), rec.Results)
+	}
+	for i, name := range want {
+		b := rec.Results[i]
+		if b.Name != name {
+			t.Errorf("benchmark %d: name %q, want %q", i, b.Name, name)
+		}
+		if b.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %v", name, b.NsPerOp)
+		}
+	}
+
+	// Self-compare under any gate passes (ratio 1.0 exactly).
+	if failed := compare(quiet(), rec, rec, 1.0); len(failed) != 0 {
+		t.Fatalf("self-compare failed: %v", failed)
+	}
+
+	// A baseline claiming everything was 1000x faster trips the gate.
+	fast := rec
+	fast.Results = append([]Bench(nil), rec.Results...)
+	for i := range fast.Results {
+		fast.Results[i].NsPerOp /= 1000
+	}
+	if failed := compare(quiet(), fast, rec, 2); len(failed) != len(rec.Results) {
+		t.Fatalf("inflated baseline should trip every benchmark, tripped %v", failed)
+	}
+
+	// A gate of 0 reports but never fails.
+	if failed := compare(quiet(), fast, rec, 0); len(failed) != 0 {
+		t.Fatalf("disabled gate should not fail, got %v", failed)
+	}
+
+	// A baseline naming a benchmark the suite no longer runs fails.
+	missing := rec
+	missing.Results = append([]Bench(nil), rec.Results...)
+	missing.Results[0].Name = "gone"
+	failed := compare(quiet(), missing, rec, 1000)
+	if len(failed) != 1 || !strings.Contains(failed[0], "missing") {
+		t.Fatalf("missing benchmark should fail the compare, got %v", failed)
+	}
+}
+
+func TestReadRecordRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(p, []byte(`{"schema":"other","benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRecord(p); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+	if _, err := readRecord(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("absent file accepted")
+	}
+}
+
+func TestMeasureReportsError(t *testing.T) {
+	if _, err := measure("boom", time.Millisecond, 1, func() error {
+		return os.ErrInvalid
+	}); err == nil {
+		t.Fatal("measure swallowed the workload error")
+	}
+}

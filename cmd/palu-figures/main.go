@@ -47,6 +47,7 @@ func main() {
 		out      = flag.String("out", "out", "output directory")
 		seed     = flag.Uint64("seed", 1, "random seed for the suite-seeded experiments")
 		parallel = flag.Bool("parallel", false, "run independent scenarios concurrently (one worker per CPU)")
+		shards   = flag.Int("shards", 0, "intra-window parallel-reduce width of the streaming pipeline (0 = serial reduce per window; results are identical at any value)")
 		cacheDir = flag.String("cache-dir", "", "PTRC window cache directory: traffic windows are recorded once and replayed thereafter")
 		list     = flag.Bool("list", false, "print the experiment index (the content of EXPERIMENTS.md) and exit")
 	)
@@ -67,9 +68,10 @@ func main() {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	eng, err := scenario.NewEngine(reg, scenario.Config{
-		Workers:  workers,
-		OutDir:   *out,
-		CacheDir: *cacheDir,
+		Workers:        workers,
+		OutDir:         *out,
+		CacheDir:       *cacheDir,
+		PipelineShards: *shards,
 	})
 	if err != nil {
 		log.Fatal(err)

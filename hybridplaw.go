@@ -462,6 +462,50 @@ type TrafficMatrix = spmat.Matrix
 // TrafficAggregates bundles the four Table I aggregate properties.
 type TrafficAggregates = spmat.Aggregates
 
+// WindowPartial is a deterministic, mergeable partial aggregate of a
+// traffic window: the unit of cross-site federation. Merge is
+// associative and commutative; Rebase separates per-site id spaces.
+type WindowPartial = spmat.WindowPartial
+
+// PartialFromEntries canonicalizes arbitrary-order link entries into a
+// WindowPartial.
+func PartialFromEntries(entries []spmat.Entry) (WindowPartial, error) {
+	return spmat.PartialFromEntries(entries)
+}
+
+// PartialSink is a Sink retaining each window's WindowPartial (requires
+// PipelineConfig.KeepPartials).
+type PartialSink = stream.PartialSink
+
+// ReduceWindowPartial re-derives a full WindowResult (Table I
+// aggregates and all five Fig. 1 histograms) from a window partial —
+// typically one merged from several sites.
+func ReduceWindowPartial(t int, p WindowPartial, keepMatrix bool) (*WindowResult, error) {
+	return stream.ReducePartial(t, p, keepMatrix)
+}
+
+// FederationSite is one member observatory of the federation suite.
+type FederationSite = experiments.FederationSite
+
+// FederationSiteResult is one member's merged distribution with its
+// model selection table.
+type FederationSiteResult = experiments.FederationSiteResult
+
+// FederationBackboneResult is the merged-backbone half of the
+// federation contrast.
+type FederationBackboneResult = experiments.FederationBackboneResult
+
+// FederationSites returns the built-in member sites of the federation
+// suite.
+func FederationSites() []FederationSite { return experiments.FederationSites() }
+
+// RunFederationBackbone merges the member sites' window partials into a
+// synthetic backbone and ranks model families on merged vs per-site
+// distributions (the "federation/backbone" scenario's compute).
+func RunFederationBackbone() (FederationBackboneResult, error) {
+	return experiments.RunFederationBackbone()
+}
+
 // Graph is an undirected multigraph.
 type Graph = graph.Graph
 

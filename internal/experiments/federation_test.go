@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFederationSitesValid(t *testing.T) {
+	sites := FederationSites()
+	if len(sites) != 3 {
+		t.Fatalf("federation suite has %d sites, want 3", len(sites))
+	}
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if seen[s.ID] {
+			t.Fatalf("duplicate federation site id %q", s.ID)
+		}
+		seen[s.ID] = true
+		if err := s.Site.Validate(); err != nil {
+			t.Errorf("site %s: %v", s.ID, err)
+		}
+		if s.Site.Nodes >= federationIDStride {
+			t.Errorf("site %s: %d nodes overflow the rebase stride %d",
+				s.ID, s.Site.Nodes, federationIDStride)
+		}
+		if err := federationReq(s).Validate(); err != nil {
+			t.Errorf("site %s window req: %v", s.ID, err)
+		}
+	}
+}
+
+func TestFederationScenariosRegistered(t *testing.T) {
+	reg := MustRegistry(1)
+	selected, err := reg.Select("federation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(FederationSites()) + 1 // members + backbone
+	if len(selected) != want {
+		t.Fatalf("federation prefix selects %d scenarios (%v), want %d", len(selected), selected, want)
+	}
+	backbone, ok := reg.Get("federation/backbone")
+	if !ok {
+		t.Fatal("federation/backbone not registered")
+	}
+	if len(backbone.Windows) != len(FederationSites()) {
+		t.Fatalf("backbone declares %d windows, want one per site", len(backbone.Windows))
+	}
+	// The backbone must share each member's cache key so one recording
+	// serves the whole family.
+	for i, s := range FederationSites() {
+		member, ok := reg.Get("federation/" + s.ID)
+		if !ok {
+			t.Fatalf("federation/%s not registered", s.ID)
+		}
+		if member.Windows[0].Key() != backbone.Windows[i].Key() {
+			t.Errorf("site %s: member and backbone window keys differ", s.ID)
+		}
+	}
+}
+
+// TestFederationBackbone runs the backbone compute end to end
+// (standalone, direct generation) and checks its superposition
+// invariants: per-window NV adds exactly across members, links add
+// exactly under rebasing, and every selection table has a winner.
+func TestFederationBackbone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunFederationBackbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerWindow) != federationWindows {
+		t.Fatalf("%d backbone windows, want %d", len(res.PerWindow), federationWindows)
+	}
+	wantNV := int64(len(res.SiteIDs)) * federationNV
+	for _, row := range res.PerWindow {
+		if row.Backbone.ValidPackets != wantNV {
+			t.Errorf("window %d: backbone NV=%d, want %d", row.T, row.Backbone.ValidPackets, wantNV)
+		}
+		var sum int64
+		for _, l := range row.SiteLinks {
+			sum += l
+		}
+		if row.Backbone.UniqueLinks != sum {
+			t.Errorf("window %d: backbone links %d != member sum %d", row.T, row.Backbone.UniqueLinks, sum)
+		}
+	}
+	if res.Backbone.Winner() == "" {
+		t.Error("backbone selection has no winner")
+	}
+	for i, sel := range res.SiteSelections {
+		if sel.Winner() == "" {
+			t.Errorf("site %s selection has no winner", res.SiteIDs[i])
+		}
+	}
+	sum := res.Summary()
+	if !strings.Contains(sum, "backbone") || !strings.HasSuffix(sum, "\n") {
+		t.Error("summary malformed")
+	}
+}

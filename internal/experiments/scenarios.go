@@ -256,6 +256,71 @@ func Scenarios(seed uint64) []scenario.Scenario {
 		},
 	})
 
+	fedSites := FederationSites()
+	for _, fs := range fedSites {
+		fs := fs
+		csvName := "federation_" + fs.ID + ".csv"
+		add(scenario.Scenario{
+			Name:  "federation/" + fs.ID,
+			Title: "Federation member: " + fs.Site.Name,
+			Description: fmt.Sprintf(
+				"Per-site half of the federation contrast: %s's merged source-packets distribution and its model selection.", fs.Site.Name),
+			Outputs: []string{csvName},
+			Windows: []scenario.WindowReq{federationReq(fs)},
+			Run: func(ctx *scenario.Context) (scenario.Result, error) {
+				res, err := runFederationSite(ctx, fs)
+				if err != nil {
+					return nil, err
+				}
+				err = ctx.WriteArtifact(csvName, func(w io.Writer) error {
+					return writeModelSelectionCSV(w, res.Selection)
+				})
+				if err != nil {
+					return nil, err
+				}
+				return res, nil
+			},
+		})
+	}
+
+	fedWindows := make([]scenario.WindowReq, len(fedSites))
+	for i, fs := range fedSites {
+		fedWindows[i] = federationReq(fs)
+	}
+	add(scenario.Scenario{
+		Name:  "federation/backbone",
+		Title: "Federation backbone: merged cross-site windows",
+		Description: "Rebases each member site's window partials into a disjoint id space, merges them per window into a synthetic " +
+			"backbone, and contrasts model selection on the merged vs per-site source-packets distributions.",
+		Outputs: []string{"federation_backbone.csv", "federation_backbone_windows.csv", "federation_compare.csv"},
+		Windows: fedWindows,
+		Run: func(ctx *scenario.Context) (scenario.Result, error) {
+			res, err := runFederationBackbone(ctx, fedSites)
+			if err != nil {
+				return nil, err
+			}
+			err = ctx.WriteArtifact("federation_backbone.csv", func(w io.Writer) error {
+				return writeModelSelectionCSV(w, res.Backbone)
+			})
+			if err != nil {
+				return nil, err
+			}
+			err = ctx.WriteArtifact("federation_backbone_windows.csv", func(w io.Writer) error {
+				return writeFederationWindowsCSV(w, res)
+			})
+			if err != nil {
+				return nil, err
+			}
+			err = ctx.WriteArtifact("federation_compare.csv", func(w io.Writer) error {
+				return writeFederationCompareCSV(w, res)
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	})
+
 	add(scenario.Scenario{
 		Name:        "validation",
 		Title:       "E-V1: Section IV analytic predictions vs simulation",

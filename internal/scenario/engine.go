@@ -31,6 +31,11 @@ type Config struct {
 	// streaming pipeline; <= 0 divides GOMAXPROCS by the scenario worker
 	// count so a parallel suite does not oversubscribe the machine.
 	PipelineWorkers int
+	// PipelineShards sets the intra-window parallel-reduce width of each
+	// scenario's inner pipeline (stream.PipelineConfig.Shards); <= 0
+	// leaves the pipeline default (1). Results are identical at any
+	// shard count — this is a throughput knob only.
+	PipelineShards int
 }
 
 // Report is the outcome of one scheduled scenario.
@@ -418,6 +423,9 @@ func (c *Context) Stream(req WindowReq, cfg stream.PipelineConfig, sinks ...stre
 		}
 		if cfg.Workers <= 0 {
 			cfg.Workers = c.pipeWorkers
+		}
+		if cfg.Shards <= 0 {
+			cfg.Shards = c.eng.cfg.PipelineShards
 		}
 		if c.eng.cache != nil {
 			return c.eng.cache.Stream(req, cfg, sinks...)

@@ -1,0 +1,154 @@
+package spmat
+
+// Cache-friendly open-addressing flat tables: the storage behind Builder
+// since the sharded-reduction refactor. A window reduction is five
+// key → count accumulations on the hot path; Go maps pay for hashing
+// flexibility, bucket indirection and per-op write barriers that a
+// fixed-shape table does not need. The tables here are linear-probing
+// arrays with power-of-two capacity, keyed by uint32 node ids or packed
+// uint64 link keys, exploiting one invariant of traffic reduction:
+// every stored count is positive, so a zero value marks an empty slot
+// and no separate occupancy metadata is required. Reset clears values
+// in place (keys may go stale; a stale key under a zero value is never
+// observed), keeping a pooled builder's capacity warm across windows.
+
+import "math/bits"
+
+// flatKey constrains the key widths the reduction core uses: uint32
+// node ids and uint64 packed (src, dst) link keys.
+type flatKey interface {
+	~uint32 | ~uint64
+}
+
+// flatMinCap is the smallest table allocation (power of two).
+const flatMinCap = 64
+
+// flatTable maps keys to positive int64 counts with linear probing.
+// The zero value is ready to use (first add allocates).
+type flatTable[K flatKey] struct {
+	keys []K
+	vals []int64
+	n    int // occupied slots
+}
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed hash for
+// integer keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// linkKey packs a (src, dst) pair into one table key.
+func linkKey(src, dst uint32) uint64 { return uint64(src)<<32 | uint64(dst) }
+
+// add accumulates n (> 0) onto key's count and returns the count after
+// the addition; a return equal to n therefore means the key is new.
+func (t *flatTable[K]) add(key K, n int64) int64 {
+	if 4*(t.n+1) > 3*len(t.vals) {
+		t.grow()
+	}
+	mask := uint64(len(t.vals) - 1)
+	i := mix64(uint64(key)) & mask
+	for {
+		switch {
+		case t.vals[i] == 0:
+			t.keys[i] = key
+			t.vals[i] = n
+			t.n++
+			return n
+		case t.keys[i] == key:
+			t.vals[i] += n
+			return t.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get returns key's count (0 when absent).
+func (t *flatTable[K]) get(key K) int64 {
+	if t.n == 0 {
+		return 0
+	}
+	mask := uint64(len(t.vals) - 1)
+	i := mix64(uint64(key)) & mask
+	for {
+		switch {
+		case t.vals[i] == 0:
+			return 0
+		case t.keys[i] == key:
+			return t.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow rehashes into a table twice the current capacity (or the minimum
+// for a fresh table).
+func (t *flatTable[K]) grow() {
+	newCap := flatMinCap
+	if len(t.vals) > 0 {
+		newCap = 2 * len(t.vals)
+	}
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]K, newCap)
+	t.vals = make([]int64, newCap)
+	mask := uint64(newCap - 1)
+	for j, v := range oldVals {
+		if v == 0 {
+			continue
+		}
+		k := oldKeys[j]
+		i := mix64(uint64(k)) & mask
+		for t.vals[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = k
+		t.vals[i] = v
+	}
+}
+
+// forEach calls f for every occupied slot, in slot order. Slot order
+// depends on insertion history and is NOT deterministic across
+// differently-built tables; callers must only fold the visits through
+// order-independent reductions (integer accumulation) or sort.
+func (t *flatTable[K]) forEach(f func(key K, val int64)) {
+	if t.n == 0 {
+		return
+	}
+	for i, v := range t.vals {
+		if v != 0 {
+			f(t.keys[i], v)
+		}
+	}
+}
+
+// reset empties the table in place, retaining capacity. Only values are
+// cleared: a stale key under a zero value reads as an empty slot.
+func (t *flatTable[K]) reset() {
+	if t.n == 0 {
+		return
+	}
+	clear(t.vals)
+	t.n = 0
+}
+
+// len returns the number of occupied slots.
+func (t *flatTable[K]) len() int { return t.n }
+
+// capHint pre-sizes a fresh table for an expected number of entries.
+func (t *flatTable[K]) capHint(entries int) {
+	if len(t.vals) != 0 || entries <= 0 {
+		return
+	}
+	// Size for a <= 3/4 load factor at the hint.
+	c := flatMinCap
+	if need := entries*4/3 + 1; need > c {
+		c = 1 << bits.Len(uint(need-1))
+	}
+	t.keys = make([]K, c)
+	t.vals = make([]int64, c)
+}

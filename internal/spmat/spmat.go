@@ -39,25 +39,24 @@ type Entry struct {
 // and fan-in (which advance exactly when a link count goes 0 → 1), and
 // the Table I aggregates. A streaming consumer therefore never needs a
 // post-hoc scan over a frozen Matrix, and a Reset lets one builder be
-// pooled across windows without reallocating its maps.
+// pooled across windows without reallocating its tables.
+//
+// Storage is the open-addressing flat tables of flat.go, not Go maps:
+// the five per-packet accumulations are the hottest loop in the repo,
+// and the flat tables turn each into a hash, a short linear probe and
+// an in-place add.
 type Builder struct {
-	counts map[[2]uint32]int64
-	srcPk  map[uint32]int64 // packets sent per source (row sums)
-	dstPk  map[uint32]int64 // packets received per destination (column sums)
-	fanOut map[uint32]int64 // unique destinations per source
-	fanIn  map[uint32]int64 // unique sources per destination
+	counts flatTable[uint64] // packets per (src, dst) link
+	srcPk  flatTable[uint32] // packets sent per source (row sums)
+	dstPk  flatTable[uint32] // packets received per destination (column sums)
+	fanOut flatTable[uint32] // unique destinations per source
+	fanIn  flatTable[uint32] // unique sources per destination
 	total  int64
 }
 
 // NewBuilder returns an empty accumulation builder.
 func NewBuilder() *Builder {
-	return &Builder{
-		counts: make(map[[2]uint32]int64),
-		srcPk:  make(map[uint32]int64),
-		dstPk:  make(map[uint32]int64),
-		fanOut: make(map[uint32]int64),
-		fanIn:  make(map[uint32]int64),
-	}
+	return &Builder{}
 }
 
 // Add accumulates n packets from src to dst. n must be positive.
@@ -74,39 +73,39 @@ func (b *Builder) AddPacket(src, dst uint32) { b.addN(src, dst, 1) }
 
 // addN is the unchecked accumulation core: n > 0.
 func (b *Builder) addN(src, dst uint32, n int64) {
-	k := [2]uint32{src, dst}
-	c := b.counts[k]
-	b.counts[k] = c + n
-	if c == 0 { // new unique link
-		b.fanOut[src]++
-		b.fanIn[dst]++
+	if b.counts.add(linkKey(src, dst), n) == n { // new unique link
+		b.fanOut.add(src, 1)
+		b.fanIn.add(dst, 1)
 	}
-	b.srcPk[src] += n
-	b.dstPk[dst] += n
+	b.srcPk.add(src, n)
+	b.dstPk.add(dst, n)
 	b.total += n
 }
 
 // Merge folds another builder's counts into b. The other builder remains
-// valid; Merge is the reduction step of the parallel shard builders.
+// valid; Merge is the reduction step of the parallel shard builders. It
+// is correct under any packet partitioning: per-link counts combine by
+// addition, and the node reductions are re-derived through addN's
+// 0 → 1 fan tracking.
 func (b *Builder) Merge(other *Builder) {
-	for k, v := range other.counts {
-		b.addN(k[0], k[1], v)
-	}
+	other.counts.forEach(func(k uint64, v int64) {
+		b.addN(uint32(k>>32), uint32(k), v)
+	})
 }
 
-// Reset empties the builder for reuse, retaining the allocated map
+// Reset empties the builder for reuse, retaining the allocated table
 // capacity: the pipeline's per-window allocation-churn killer.
 func (b *Builder) Reset() {
-	clear(b.counts)
-	clear(b.srcPk)
-	clear(b.dstPk)
-	clear(b.fanOut)
-	clear(b.fanIn)
+	b.counts.reset()
+	b.srcPk.reset()
+	b.dstPk.reset()
+	b.fanOut.reset()
+	b.fanIn.reset()
 	b.total = 0
 }
 
 // NNZ returns the number of distinct (src, dst) links accumulated so far.
-func (b *Builder) NNZ() int { return len(b.counts) }
+func (b *Builder) NNZ() int { return b.counts.len() }
 
 // Total returns the number of packets accumulated so far (= NV at window
 // close).
@@ -117,46 +116,78 @@ func (b *Builder) Total() int64 { return b.total }
 func (b *Builder) Aggregates() Aggregates {
 	return Aggregates{
 		ValidPackets:       b.total,
-		UniqueLinks:        int64(len(b.counts)),
-		UniqueSources:      int64(len(b.srcPk)),
-		UniqueDestinations: int64(len(b.dstPk)),
+		UniqueLinks:        int64(b.counts.len()),
+		UniqueSources:      int64(b.srcPk.len()),
+		UniqueDestinations: int64(b.dstPk.len()),
 	}
 }
 
-// SourcePackets returns the per-source packet totals accumulated so far
-// (the "source packets" reduction of Fig. 1). The map is the builder's
-// live internal state: callers must not modify or retain it across
-// further Add/Reset calls.
-func (b *Builder) SourcePackets() map[uint32]int64 { return b.srcPk }
+// ForEachSourcePacket calls f for every source and its packet total (the
+// "source packets" reduction of Fig. 1), in unspecified order.
+func (b *Builder) ForEachSourcePacket(f func(id uint32, n int64)) { b.srcPk.forEach(f) }
 
-// SourceFanOut returns the per-source unique-destination counts ("source
-// fan-out"). Same sharing contract as SourcePackets.
-func (b *Builder) SourceFanOut() map[uint32]int64 { return b.fanOut }
+// ForEachSourceFanOut calls f for every source and its unique-destination
+// count ("source fan-out"), in unspecified order.
+func (b *Builder) ForEachSourceFanOut(f func(id uint32, n int64)) { b.fanOut.forEach(f) }
 
-// DestinationFanIn returns the per-destination unique-source counts
-// ("destination fan-in"). Same sharing contract as SourcePackets.
-func (b *Builder) DestinationFanIn() map[uint32]int64 { return b.fanIn }
+// ForEachDestinationFanIn calls f for every destination and its
+// unique-source count ("destination fan-in"), in unspecified order.
+func (b *Builder) ForEachDestinationFanIn(f func(id uint32, n int64)) { b.fanIn.forEach(f) }
 
-// DestinationPackets returns the per-destination packet totals
-// ("destination packets"). Same sharing contract as SourcePackets.
-func (b *Builder) DestinationPackets() map[uint32]int64 { return b.dstPk }
+// ForEachDestinationPacket calls f for every destination and its packet
+// total ("destination packets"), in unspecified order.
+func (b *Builder) ForEachDestinationPacket(f func(id uint32, n int64)) { b.dstPk.forEach(f) }
+
+// SourcePackets returns a fresh snapshot of the per-source packet totals
+// (the "source packets" reduction of Fig. 1). O(n); streaming consumers
+// should prefer ForEachSourcePacket.
+func (b *Builder) SourcePackets() map[uint32]int64 { return tableSnapshot(&b.srcPk) }
+
+// SourceFanOut returns a fresh snapshot of the per-source
+// unique-destination counts ("source fan-out").
+func (b *Builder) SourceFanOut() map[uint32]int64 { return tableSnapshot(&b.fanOut) }
+
+// DestinationFanIn returns a fresh snapshot of the per-destination
+// unique-source counts ("destination fan-in").
+func (b *Builder) DestinationFanIn() map[uint32]int64 { return tableSnapshot(&b.fanIn) }
+
+// DestinationPackets returns a fresh snapshot of the per-destination
+// packet totals ("destination packets").
+func (b *Builder) DestinationPackets() map[uint32]int64 { return tableSnapshot(&b.dstPk) }
+
+func tableSnapshot(t *flatTable[uint32]) map[uint32]int64 {
+	out := make(map[uint32]int64, t.len())
+	t.forEach(func(id uint32, n int64) { out[id] = n })
+	return out
+}
 
 // ForEachLink calls f for every accumulated unique link and its packet
 // count (the "link packets" reduction of Fig. 1), in unspecified order.
 func (b *Builder) ForEachLink(f func(src, dst uint32, count int64)) {
-	for k, v := range b.counts {
-		f(k[0], k[1], v)
-	}
+	b.counts.forEach(func(k uint64, v int64) {
+		f(uint32(k>>32), uint32(k), v)
+	})
 }
 
 // Build freezes the accumulated counts into an immutable CSR-ordered
 // Matrix. The builder can continue to accumulate afterwards.
 func (b *Builder) Build() *Matrix {
-	entries := make([]Entry, 0, len(b.counts))
-	for k, v := range b.counts {
-		entries = append(entries, Entry{Src: k[0], Dst: k[1], Count: v})
-	}
+	entries := make([]Entry, 0, b.counts.len())
+	b.ForEachLink(func(src, dst uint32, v int64) {
+		entries = append(entries, Entry{Src: src, Dst: dst, Count: v})
+	})
 	return FromEntries(entries)
+}
+
+// Partial freezes the accumulated state into a deterministic, mergeable
+// WindowPartial. The builder can continue to accumulate afterwards.
+func (b *Builder) Partial() WindowPartial {
+	entries := make([]Entry, 0, b.counts.len())
+	b.ForEachLink(func(src, dst uint32, v int64) {
+		entries = append(entries, Entry{Src: src, Dst: dst, Count: v})
+	})
+	sortEntries(entries)
+	return WindowPartial{entries: entries, total: b.total}
 }
 
 // Matrix is an immutable sparse traffic matrix in row-major (CSR-like)
@@ -167,16 +198,22 @@ type Matrix struct {
 	total   int64   // Σ counts = NV
 }
 
-// FromEntries builds a Matrix from arbitrary-order entries, combining
-// duplicate (src, dst) keys by summation.
-func FromEntries(entries []Entry) *Matrix {
-	es := append([]Entry(nil), entries...)
+// sortEntries orders entries by (Src, Dst): the canonical row-major
+// entry order shared by Matrix and WindowPartial.
+func sortEntries(es []Entry) {
 	sort.Slice(es, func(i, j int) bool {
 		if es[i].Src != es[j].Src {
 			return es[i].Src < es[j].Src
 		}
 		return es[i].Dst < es[j].Dst
 	})
+}
+
+// FromEntries builds a Matrix from arbitrary-order entries, combining
+// duplicate (src, dst) keys by summation.
+func FromEntries(entries []Entry) *Matrix {
+	es := append([]Entry(nil), entries...)
+	sortEntries(es)
 	// Combine duplicates in place.
 	out := es[:0]
 	for _, e := range es {

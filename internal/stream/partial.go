@@ -1,0 +1,51 @@
+package stream
+
+// Federation support: collecting per-window mergeable partials out of a
+// pipeline run, and re-deriving full WindowResults from merged
+// partials. Both directions go through the same reduceWindow code as
+// the live pipeline, so a backbone window merged from per-site partials
+// is measured by byte-identical machinery to a directly observed one.
+
+import (
+	"errors"
+
+	"hybridplaw/internal/spmat"
+)
+
+// PartialSink is a Sink retaining each window's deterministic mergeable
+// partial aggregate, in window order. It requires
+// PipelineConfig.KeepPartials; a run without it fails fast on the first
+// window. Memory is O(windows × links) — partials are the raw material
+// of federation, not a streaming reduction.
+type PartialSink struct {
+	// Partials holds one WindowPartial per completed window.
+	Partials []spmat.WindowPartial
+}
+
+// ConsumeWindow implements Sink.
+func (s *PartialSink) ConsumeWindow(res *WindowResult) error {
+	if res.Partial == nil {
+		return errors.New("stream: PartialSink requires PipelineConfig.KeepPartials")
+	}
+	s.Partials = append(s.Partials, *res.Partial)
+	return nil
+}
+
+// ReducePartial re-derives a full WindowResult (Table I aggregates and
+// all five Fig. 1 histograms) from a window partial — typically one
+// merged from several sites' windows. t is the window index to stamp;
+// keepMatrix additionally freezes the spmat.Matrix. The reduction runs
+// through the identical code path as the live pipeline.
+func ReducePartial(t int, p spmat.WindowPartial, keepMatrix bool) (*WindowResult, error) {
+	b := spmat.NewBuilder()
+	var addErr error
+	p.ForEachLink(func(src, dst uint32, n int64) {
+		if err := b.Add(src, dst, n); err != nil && addErr == nil {
+			addErr = err
+		}
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	return reduceWindow(t, b, PipelineConfig{KeepMatrices: keepMatrix})
+}

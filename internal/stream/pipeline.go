@@ -7,20 +7,24 @@ package stream
 //
 //	PacketSource → fixed-NV windower → bounded worker pool → Sinks
 //
-// Packets are pulled one at a time from a PacketSource iterator; the
-// ingest loop does nothing but filter invalid packets and buffer valid
-// ones into a pooled window chunk, so the serial stage is branch-and-copy
-// cheap. Each completed window is fanned out to a fixed worker pool. A
-// worker owns one spmat.Builder for its lifetime: it replays the chunk
+// Packets are pulled from a PacketSource (whole decoded runs at a time
+// when the source is a BlockSource, e.g. the PTRC readers); the ingest
+// loop does nothing but filter invalid packets and route valid ones by
+// link-key hash into the shard buffers of a pooled window chunk, so the
+// serial stage is branch-hash-copy cheap. Each completed window is
+// fanned out to a fixed worker pool. A worker owns one spmat.Builder
+// per shard for its lifetime: the shard buffers replay concurrently
 // through Builder.AddPacket — which maintains every Fig. 1 reduction
-// incrementally — then converts that state into the five quantity
-// histograms in a single pass (no frozen Matrix, no sort, no post-hoc
-// map scans), resets the builder with its maps still warm, and returns
-// the chunk to the pool. A consumer goroutine re-orders completed
-// windows and feeds each Sink in strict window order, so every sink
-// observes exactly the sequence a serial batch pass would produce. At no
-// point are more than workers+1 windows resident in memory, regardless
-// of trace length.
+// incrementally on open-addressing flat tables — and merge in fixed
+// shard order, so the merged state is identical to a serial reduce at
+// any worker/shard count. The worker then converts that state into the
+// five quantity histograms in a single pass (no frozen Matrix, no sort,
+// no post-hoc map scans), resets the builders with their tables still
+// warm, and returns the chunk to the pool. A consumer goroutine
+// re-orders completed windows and feeds each Sink in strict window
+// order, so every sink observes exactly the sequence a serial batch
+// pass would produce. At no point are more than workers+1 windows
+// resident in memory, regardless of trace length.
 
 import (
 	"errors"
@@ -159,6 +163,10 @@ type WindowResult struct {
 	// PipelineConfig.KeepMatrices is set (it is the one per-window
 	// product whose construction is not O(1)-memory friendly).
 	Matrix *spmat.Matrix
+	// Partial is the window's deterministic mergeable partial aggregate,
+	// populated only when PipelineConfig.KeepPartials is set. It is the
+	// unit of cross-site federation (see spmat.WindowPartial).
+	Partial *spmat.WindowPartial
 }
 
 // Hist returns the histogram of quantity q, or nil for an invalid q.
@@ -201,6 +209,14 @@ type PipelineConfig struct {
 	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS. Window
 	// residency is bounded by Workers+1.
 	Workers int
+	// Shards is the intra-window parallel-reduce width: each window's
+	// packets are partitioned by link-key hash into Shards builders
+	// reduced concurrently, then merged in fixed shard order, so every
+	// sink observes results identical to the serial reduce at any shard
+	// count. <= 0 selects 1 (reduce each window on its worker alone);
+	// values above MaxShards are clamped. Shards multiply Workers: a
+	// run holds up to Workers×Shards reduction goroutines.
+	Shards int
 	// MaxWindows stops the pipeline after that many complete windows;
 	// <= 0 streams until the source is exhausted. With a MaxWindows
 	// bound the source is not consumed past the closing packet of the
@@ -210,6 +226,27 @@ type PipelineConfig struct {
 	// spmat.Matrix of each window. Off by default: the matrix is the one
 	// product that requires a sort and a fresh allocation per window.
 	KeepMatrices bool
+	// KeepPartials populates WindowResult.Partial with the window's
+	// deterministic mergeable partial aggregate (same per-window sort
+	// cost as KeepMatrices). The federation scenarios set it to merge
+	// per-site windows into a backbone view.
+	KeepPartials bool
+}
+
+// MaxShards bounds the intra-window reduce width; beyond this, shard
+// buffers are too small to amortize the per-shard goroutine.
+const MaxShards = 64
+
+// shards returns the normalized intra-window reduce width.
+func (cfg PipelineConfig) shards() int {
+	switch {
+	case cfg.Shards <= 0:
+		return 1
+	case cfg.Shards > MaxShards:
+		return MaxShards
+	default:
+		return cfg.Shards
+	}
 }
 
 // PipelineStats summarizes a pipeline run.
@@ -252,9 +289,11 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 		workers = cfg.MaxWindows // never more workers than windows to reduce
 	}
 
+	shards := cfg.shards()
+
 	type job struct {
-		t       int
-		packets []Packet // exactly NV valid packets
+		t     int
+		chunk *windowChunk // exactly NV valid packets, pre-partitioned
 	}
 	type outcome struct {
 		t   int
@@ -262,32 +301,39 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 		err error
 	}
 
-	// The chunk pool is the memory bound: workers+1 window-sized packet
-	// buffers exist for the lifetime of the run (one filling, up to
-	// workers being reduced).
-	free := make(chan []Packet, workers+1)
+	// The chunk pool is the memory bound: workers+1 window-sized
+	// pre-partitioned chunks exist for the lifetime of the run (one
+	// filling, up to workers being reduced).
+	free := make(chan *windowChunk, workers+1)
 	for i := 0; i < workers+1; i++ {
-		free <- make([]Packet, 0, cfg.NV)
+		free <- newWindowChunk(shards, cfg.NV)
 	}
 	jobs := make(chan job)
 	results := make(chan outcome, workers)
 	stop := make(chan struct{}) // closed once on the first consumer-side error
 
-	// Each worker owns one builder for the whole run; Reset keeps its map
-	// storage warm across windows, killing per-window allocation churn.
+	// Each worker owns one builder per shard for the whole run; Reset
+	// keeps their table storage warm across windows, killing per-window
+	// allocation churn. Shard builders reduce concurrently and merge in
+	// fixed shard order, so the merged state — and every product derived
+	// from it — is identical to a serial reduce at any shard count.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			b := spmat.NewBuilder()
+			builders := make([]*spmat.Builder, shards)
+			for s := range builders {
+				builders[s] = spmat.NewBuilder()
+			}
 			for j := range jobs {
-				for _, p := range j.packets {
-					b.AddPacket(p.Src, p.Dst)
+				root := reduceShards(builders, j.chunk)
+				res, err := reduceWindow(j.t, root, cfg)
+				for _, b := range builders {
+					b.Reset()
 				}
-				res, err := reduceWindow(j.t, b, cfg.KeepMatrices)
-				b.Reset()
-				free <- j.packets[:0] // capacity workers+1: never blocks
+				j.chunk.reset()
+				free <- j.chunk // capacity workers+1: never blocks
 				results <- outcome{t: j.t, res: res, err: err}
 			}
 		}()
@@ -334,7 +380,7 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 		}
 	}()
 
-	// Ingest loop, on the caller's goroutine: filter, buffer, hand off.
+	// Ingest loop, on the caller's goroutine: filter, partition, hand off.
 	chunk := <-free
 	t := 0
 	// handoff ships the full chunk to the worker pool and acquires a
@@ -342,7 +388,7 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 	// error or MaxWindows reached).
 	handoff := func() bool {
 		select {
-		case jobs <- job{t: t, packets: chunk}:
+		case jobs <- job{t: t, chunk: chunk}:
 		case <-stop:
 			return false
 		}
@@ -359,22 +405,22 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 		return true
 	}
 	if bs, ok := src.(BlockSource); ok {
-		// Bulk path: whole decoded runs, filtered and copied in a tight
-		// loop with no per-packet interface dispatch.
+		// Bulk path: whole decoded runs (the tracestore readers hand
+		// blocks over verbatim) feed the shard buffers through AddBlock —
+		// filter, hash and route in one tight loop with no per-packet
+		// interface dispatch.
 	ingestBlocks:
 		for {
 			blk, ok := bs.NextBlock()
 			if !ok {
 				break
 			}
-			for _, p := range blk {
-				if !p.Valid {
-					stats.InvalidPackets++
-					continue
-				}
-				chunk = append(chunk, p)
-				stats.ValidPackets++
-				if int64(len(chunk)) == cfg.NV && !handoff() {
+			for len(blk) > 0 {
+				consumed, valid, invalid, full := chunk.AddBlock(blk, cfg.NV)
+				stats.ValidPackets += valid
+				stats.InvalidPackets += invalid
+				blk = blk[consumed:]
+				if full && !handoff() {
 					break ingestBlocks
 				}
 			}
@@ -389,14 +435,16 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 				stats.InvalidPackets++
 				continue
 			}
-			chunk = append(chunk, p)
+			chunk.add(p)
 			stats.ValidPackets++
-			if int64(len(chunk)) == cfg.NV && !handoff() {
+			if chunk.n == cfg.NV && !handoff() {
 				break
 			}
 		}
 	}
-	stats.DiscardedTail = int64(len(chunk))
+	if chunk != nil {
+		stats.DiscardedTail = chunk.n
+	}
 	if c, ok := src.(PacketCounter); ok {
 		stats.SourcePacketsRead = c.PacketsRead()
 	}
@@ -415,22 +463,145 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 	return stats, nil
 }
 
+// windowChunk is one window's packets pre-partitioned by link-key hash
+// into shard buffers: the handoff unit between ingest and the worker
+// pool. With one shard it degenerates to a single buffer and the hash
+// is skipped.
+type windowChunk struct {
+	shards [][]Packet
+	n      int64 // valid packets buffered across all shards
+}
+
+// newWindowChunk allocates a chunk of the given shard width sized for
+// nv valid packets.
+func newWindowChunk(shards int, nv int64) *windowChunk {
+	c := &windowChunk{shards: make([][]Packet, shards)}
+	per := int(nv)
+	if shards > 1 {
+		// Shard loads concentrate around nv/shards; leave headroom so
+		// ordinary imbalance does not re-allocate every window.
+		per = per/shards + per/(4*shards) + 16
+	}
+	for s := range c.shards {
+		c.shards[s] = make([]Packet, 0, per)
+	}
+	return c
+}
+
+// shardOf routes a (src, dst) link to a shard: a splitmix64-finalized
+// hash of the packed link key, range-reduced by modulo over the TOP 16
+// bits. Every packet of one link lands in one shard, which is what
+// makes the shard builders' link tables disjoint. The top bits matter:
+// spmat's flat tables index by the LOW bits of the same finalizer, so
+// selecting shards from the low bits would leave each shard's keys
+// agreeing in their table-index bits — only 1/S of the slots would
+// start probes, clustering the linear probing on the hottest loop.
+// Disjoint bit ranges keep the within-shard table distribution uniform.
+func shardOf(src, dst uint32, shards int) int {
+	h := uint64(src)<<32 | uint64(dst)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int((h >> 48) % uint64(shards))
+}
+
+// add routes one valid packet into its shard buffer.
+func (c *windowChunk) add(p Packet) {
+	s := 0
+	if len(c.shards) > 1 {
+		s = shardOf(p.Src, p.Dst, len(c.shards))
+	}
+	c.shards[s] = append(c.shards[s], p)
+	c.n++
+}
+
+// AddBlock bulk-ingests a decoded block run: valid packets are hashed
+// and routed to shard buffers, invalid ones counted and dropped, in one
+// tight loop (the PTRC replay fast path — decoded blocks feed the shard
+// builders with no per-packet iterator). It stops as soon as the window
+// reaches nv valid packets and reports how much of blk it consumed, the
+// valid/invalid split of the consumed prefix, and whether the window is
+// now full.
+func (c *windowChunk) AddBlock(blk []Packet, nv int64) (consumed int, valid, invalid int64, full bool) {
+	for i, p := range blk {
+		if !p.Valid {
+			invalid++
+			continue
+		}
+		c.add(p)
+		valid++
+		if c.n == nv {
+			return i + 1, valid, invalid, true
+		}
+	}
+	return len(blk), valid, invalid, false
+}
+
+// reset empties the shard buffers, retaining capacity.
+func (c *windowChunk) reset() {
+	for s := range c.shards {
+		c.shards[s] = c.shards[s][:0]
+	}
+	c.n = 0
+}
+
+// reduceShards replays a chunk's shard buffers into per-shard builders
+// concurrently and merges them in fixed shard order into builders[0],
+// which it returns. Because each (src, dst) link lives in exactly one
+// shard and every reduction product is an order-independent integer
+// accumulation, the merged state is identical to a serial reduce of the
+// whole window at any shard count.
+func reduceShards(builders []*spmat.Builder, c *windowChunk) *spmat.Builder {
+	if len(builders) == 1 {
+		b := builders[0]
+		for _, p := range c.shards[0] {
+			b.AddPacket(p.Src, p.Dst)
+		}
+		return b
+	}
+	var wg sync.WaitGroup
+	for s := 1; s < len(builders); s++ {
+		if len(c.shards[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			b := builders[s]
+			for _, p := range c.shards[s] {
+				b.AddPacket(p.Src, p.Dst)
+			}
+		}(s)
+	}
+	b := builders[0]
+	for _, p := range c.shards[0] {
+		b.AddPacket(p.Src, p.Dst)
+	}
+	wg.Wait()
+	for s := 1; s < len(builders); s++ { // fixed shard order
+		b.Merge(builders[s])
+	}
+	return b
+}
+
 // reduceWindow converts a closed window's builder state into a
 // WindowResult: all five Fig. 1 histograms in one pass over the
 // incremental reductions, no intermediate Matrix required.
-func reduceWindow(t int, b *spmat.Builder, keepMatrix bool) (*WindowResult, error) {
+func reduceWindow(t int, b *spmat.Builder, cfg PipelineConfig) (*WindowResult, error) {
 	res := &WindowResult{T: t, NV: b.Total(), Aggregates: b.Aggregates()}
 	var err error
-	if res.Hists[SourcePackets], err = histFromMap(b.SourcePackets()); err != nil {
+	if res.Hists[SourcePackets], err = histFromIter(b.ForEachSourcePacket); err != nil {
 		return nil, err
 	}
-	if res.Hists[SourceFanOut], err = histFromMap(b.SourceFanOut()); err != nil {
+	if res.Hists[SourceFanOut], err = histFromIter(b.ForEachSourceFanOut); err != nil {
 		return nil, err
 	}
-	if res.Hists[DestinationFanIn], err = histFromMap(b.DestinationFanIn()); err != nil {
+	if res.Hists[DestinationFanIn], err = histFromIter(b.ForEachDestinationFanIn); err != nil {
 		return nil, err
 	}
-	if res.Hists[DestinationPackets], err = histFromMap(b.DestinationPackets()); err != nil {
+	if res.Hists[DestinationPackets], err = histFromIter(b.ForEachDestinationPacket); err != nil {
 		return nil, err
 	}
 	lp := hist.New()
@@ -443,10 +614,29 @@ func reduceWindow(t int, b *spmat.Builder, keepMatrix bool) (*WindowResult, erro
 		return nil, err
 	}
 	res.Hists[LinkPackets] = lp
-	if keepMatrix {
+	if cfg.KeepMatrices {
 		res.Matrix = b.Build()
 	}
+	if cfg.KeepPartials {
+		p := b.Partial()
+		res.Partial = &p
+	}
 	return res, nil
+}
+
+// histFromIter tallies a per-node reduction into its degree histogram.
+func histFromIter(iter func(func(id uint32, n int64))) (*hist.Histogram, error) {
+	h := hist.New()
+	var err error
+	iter(func(_ uint32, v int64) {
+		if e := h.AddN(int(v), 1); e != nil && err == nil {
+			err = e
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 // CollectWindows runs the pipeline with a window-collecting sink and

@@ -193,9 +193,28 @@ func parseBlockHeader(b []byte) (blockHeader, error) {
 		return h, corruptf("block header: raw length %d out of range", h.rawLen)
 	case h.compLen <= 0 || h.compLen > maxBlockBytes:
 		return h, corruptf("block header: compressed length %d out of range", h.compLen)
+	// Plausibility bounds that cap what a corrupt header can make a
+	// reader allocate, proportional to bytes actually present in the
+	// stream: DEFLATE cannot expand beyond ~1032x (one bit per symbol
+	// floor), and n packets need at least a validity bitmap plus two
+	// one-byte varints each.
+	case h.rawLen > h.compLen*maxDeflateRatio+64:
+		return h, corruptf("block header: raw length %d implausible for %d compressed bytes",
+			h.rawLen, h.compLen)
+	case h.rawLen < minRawLen(h.packets):
+		return h, corruptf("block header: raw length %d below minimum %d for %d packets",
+			h.rawLen, minRawLen(h.packets), h.packets)
 	}
 	return h, nil
 }
+
+// maxDeflateRatio is the maximum expansion factor of DEFLATE (the
+// stored-symbol floor is just under one bit per output byte).
+const maxDeflateRatio = 1032
+
+// minRawLen is the smallest possible raw encoding of n packets: the
+// validity bitmap plus two one-byte varints per packet.
+func minRawLen(n int) int { return (n+7)/8 + 2*n }
 
 // blockDecoder holds the reusable state for decompressing and decoding
 // blocks: one per sequential reader, one per parallel worker.

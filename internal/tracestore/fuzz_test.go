@@ -1,0 +1,104 @@
+package tracestore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hybridplaw/internal/stream"
+	"hybridplaw/internal/xrand"
+)
+
+// fuzzArchive builds a small valid PTRC archive for the fuzz corpus.
+func fuzzArchive(tb testing.TB, packets int, blockSize int) []byte {
+	tb.Helper()
+	r := xrand.New(7)
+	ps := make([]stream.Packet, packets)
+	for i := range ps {
+		ps[i] = stream.Packet{
+			Src:   uint32(r.Intn(300)),
+			Dst:   uint32(r.Intn(300)),
+			Valid: r.Intn(10) != 0,
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := Record(&buf, stream.NewSliceSource(ps), WriterOptions{BlockSize: blockSize}); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReader feeds arbitrary (seeded with valid, truncated and
+// bit-flipped archives) bytes to both PTRC readers. The invariant under
+// fuzzing: a reader either replays packets and finishes cleanly, or
+// fails with a descriptive error wrapping ErrCorrupt (or a plain I/O
+// error) — it must never panic, hang, or allocate unboundedly. The
+// allocation bound comes from the header plausibility checks in
+// format.go: every decode-side allocation is proportional to bytes
+// actually present in the input.
+func FuzzReader(f *testing.F) {
+	valid := fuzzArchive(f, 2000, 256)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])           // truncated mid-stream
+	f.Add(valid[:len(valid)-5])           // truncated footer
+	f.Add([]byte(fileMagic))              // magic only
+	f.Add([]byte("PTRCBLK2garbage"))      // wrong magic
+	f.Add(fuzzArchive(f, 1, 64))          // single packet
+	f.Add(fuzzArchive(f, 600, 100)[:200]) // torn first block
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40 // bit flip in a block payload
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Sequential reader: pure io.Reader path.
+		if r, err := NewReader(bytes.NewReader(data)); err == nil {
+			var n int64
+			for {
+				if _, ok := r.Next(); !ok {
+					break
+				}
+				n++
+				if n > int64(len(data))*maxDeflateRatio {
+					t.Fatalf("sequential reader delivered %d packets from %d input bytes", n, len(data))
+				}
+			}
+			checkFuzzErr(t, r.Err())
+		}
+
+		// Parallel reader: footer/index path.
+		p, err := NewParallelReader(bytes.NewReader(data), int64(len(data)), ParallelOptions{Workers: 2})
+		if err != nil {
+			checkFuzzErr(t, err)
+			return
+		}
+		var n int64
+		for {
+			blk, ok := p.NextBlock()
+			if !ok {
+				break
+			}
+			n += int64(len(blk))
+			if n > int64(len(data))*maxDeflateRatio {
+				t.Fatalf("parallel reader delivered %d packets from %d input bytes", n, len(data))
+			}
+		}
+		checkFuzzErr(t, p.Err())
+		p.Close()
+	})
+}
+
+// checkFuzzErr accepts nil (clean replay) or a descriptive corruption
+// error; anything else (an empty message, a non-ErrCorrupt failure on
+// in-memory input) is a bug surfaced by the fuzzer.
+func checkFuzzErr(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("non-corruption error on in-memory input: %v", err)
+	}
+	if err.Error() == "" {
+		t.Fatal("corruption error with empty message")
+	}
+}
