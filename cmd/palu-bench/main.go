@@ -1,20 +1,24 @@
 // Command palu-bench runs the repo's pinned hot-path benchmarks —
-// streaming window reduce (serial and sharded), PTRC archive replay
-// (sequential and parallel decode), and model fitting — and writes a
-// machine-readable JSON record. BENCH_PR5.json at the repo root is the
-// committed perf trajectory; CI re-runs the suite and compares against
-// it benchstat-style.
+// streaming window reduce (a worker × shard matrix plus the legacy
+// serial/sharded pins), PTRC archive replay (sequential and parallel
+// decode), and model fitting — and writes a machine-readable JSON
+// record. BENCH_PR6.json at the repo root is the committed perf
+// trajectory; CI re-runs the suite and compares against it
+// benchstat-style.
 //
 // Usage:
 //
-//	palu-bench -out BENCH_PR5.json                    # run + record
-//	palu-bench -out /tmp/b.json -compare BENCH_PR5.json -max-regression 5
+//	palu-bench -out BENCH_PR6.json                    # run + record
+//	palu-bench -out /tmp/b.json -compare BENCH_PR6.json -max-regression 5
 //	palu-bench -packets 500000 -replay-packets 200000 # smaller workloads
 //
-// With -compare, per-benchmark ns/op ratios are printed and the exit
-// status is non-zero when any pinned benchmark regressed beyond
-// -max-regression (a multiplicative bound; cross-machine comparisons
-// need generous slack).
+// With -compare, per-benchmark ratios are printed and the exit status is
+// non-zero when any pinned benchmark regressed beyond -max-regression (a
+// multiplicative bound). Every entry records the CPU count it was
+// measured on: ns/op is only gated when the baseline entry was captured
+// on the same CPU count (cross-hardware throughput comparisons are
+// meaningless — the standing hardware-aware-assertion rule), while
+// allocs/op is hardware-independent and gated unconditionally.
 package main
 
 import (
@@ -43,9 +47,15 @@ type Record struct {
 	Results []Bench `json:"benchmarks"`
 }
 
-// Bench is one pinned benchmark's measurement.
+// Bench is one pinned benchmark's measurement. CPUs is recorded per
+// entry (not just per record) so a compare against a baseline captured
+// on different hardware can skip throughput gating entry by entry;
+// Workers/Shards identify the matrix point for pipeline benchmarks.
 type Bench struct {
 	Name         string  `json:"name"`
+	CPUs         int     `json:"cpus,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	MBPerS       float64 `json:"mb_per_s,omitempty"`
 	MPacketsPerS float64 `json:"mpackets_per_s,omitempty"`
@@ -53,7 +63,17 @@ type Bench struct {
 	BytesPerOp   uint64  `json:"bytes_per_op"`
 }
 
-const schemaV1 = "palu-bench-v1"
+const (
+	schemaV1 = "palu-bench-v1" // pre-matrix records: no per-entry CPUs
+	schemaV2 = "palu-bench-v2"
+)
+
+// matrixWorkers × matrixShards is the pipeline benchmark grid. The
+// {1,1} point doubles as the legacy pipeline-reduce-serial pin.
+var (
+	matrixWorkers = []int{1, 2, 4}
+	matrixShards  = []int{1, 4, 8}
+)
 
 // measure runs fn repeatedly (after one warm-up) until minTime has
 // accumulated or maxIters runs completed, and reports the minimum
@@ -83,6 +103,7 @@ func measure(name string, minTime time.Duration, maxIters int, fn func() error) 
 	runtime.ReadMemStats(&ms1)
 	return Bench{
 		Name:        name,
+		CPUs:        runtime.NumCPU(),
 		NsPerOp:     float64(best.Nanoseconds()),
 		AllocsPerOp: (ms1.Mallocs - ms0.Mallocs) / uint64(iters),
 		BytesPerOp:  (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(iters),
@@ -125,21 +146,21 @@ type suiteConfig struct {
 
 // runSuite executes every pinned benchmark and returns the record.
 func runSuite(cfg suiteConfig) (Record, error) {
-	rec := Record{Schema: schemaV1, Go: runtime.Version(), CPUs: runtime.NumCPU()}
+	rec := Record{Schema: schemaV2, Go: runtime.Version(), CPUs: runtime.NumCPU()}
 	nv := cfg.packets / 8
 	if nv < 1 {
 		nv = 1
 	}
-	shards := runtime.NumCPU()
-	if shards > stream.MaxShards {
-		shards = stream.MaxShards
+	cpuShards := runtime.NumCPU()
+	if cpuShards > stream.MaxShards {
+		cpuShards = stream.MaxShards
 	}
 	const nodes = 1 << 13
 
-	pipeline := func(shards int) func() error {
+	pipeline := func(workers, shards int) func() error {
 		return func() error {
 			src := newSynthTrace(2, cfg.packets, nodes)
-			_, err := stream.Run(src, stream.PipelineConfig{NV: nv, Workers: 1, Shards: shards})
+			_, err := stream.Run(src, stream.PipelineConfig{NV: nv, Workers: workers, Shards: shards})
 			return err
 		}
 	}
@@ -150,16 +171,38 @@ func runSuite(cfg suiteConfig) (Record, error) {
 		rec.Results = append(rec.Results, b)
 		return nil
 	}
+	pipelineEntry := func(name string, workers, shards int) (Bench, error) {
+		b, err := measure(name, cfg.minTime, cfg.maxIters, pipeline(workers, shards))
+		b.Workers, b.Shards = workers, shards
+		b.MPacketsPerS = float64(cfg.packets) / (b.NsPerOp / 1e9) / 1e6
+		return b, err
+	}
 
-	b, err := measure("pipeline-reduce-serial", cfg.minTime, cfg.maxIters, pipeline(1))
-	b.MPacketsPerS = float64(cfg.packets) / (b.NsPerOp / 1e9) / 1e6
-	if err := add(b, err); err != nil {
+	// Legacy pins first: serial is the matrix's {1,1} point measured
+	// once and recorded under both names; sharded keeps its historical
+	// geometry (one worker, one shard per CPU).
+	serial, err := pipelineEntry("pipeline-reduce-serial", 1, 1)
+	if err := add(serial, err); err != nil {
 		return rec, err
 	}
-	b, err = measure("pipeline-reduce-sharded", cfg.minTime, cfg.maxIters, pipeline(shards))
-	b.MPacketsPerS = float64(cfg.packets) / (b.NsPerOp / 1e9) / 1e6
-	if err := add(b, err); err != nil {
+	if err := add(pipelineEntry("pipeline-reduce-sharded", 1, cpuShards)); err != nil {
 		return rec, err
+	}
+	for _, w := range matrixWorkers {
+		for _, s := range matrixShards {
+			name := fmt.Sprintf("pipeline-w%d-s%d", w, s)
+			if w == 1 && s == 1 {
+				b := serial
+				b.Name = name
+				if err := add(b, nil); err != nil {
+					return rec, err
+				}
+				continue
+			}
+			if err := add(pipelineEntry(name, w, s)); err != nil {
+				return rec, err
+			}
+		}
 	}
 
 	// PTRC replay: one in-memory archive, replayed through the pipeline.
@@ -173,7 +216,7 @@ func runSuite(cfg suiteConfig) (Record, error) {
 	if replayNV < 1 {
 		replayNV = 1
 	}
-	b, err = measure("ptrc-replay-sequential", cfg.minTime, cfg.maxIters, func() error {
+	b, err := measure("ptrc-replay-sequential", cfg.minTime, cfg.maxIters, func() error {
 		src, err := tracestore.NewReader(bytes.NewReader(raw))
 		if err != nil {
 			return err
@@ -236,16 +279,30 @@ func runSuite(cfg suiteConfig) (Record, error) {
 	return rec, nil
 }
 
-// compare prints a benchstat-style table of cur against base and
-// returns the names whose ns/op regressed beyond maxRegression (<= 0
-// disables the gate; ratios are still printed).
+// entryCPUs resolves a benchmark entry's CPU count, falling back to the
+// record-level count for v1 baselines that predate per-entry recording.
+func entryCPUs(b Bench, rec Record) int {
+	if b.CPUs > 0 {
+		return b.CPUs
+	}
+	return rec.CPUs
+}
+
+// compare prints a benchstat-style table of cur against base and returns
+// the names that regressed beyond maxRegression (<= 0 disables the gate;
+// ratios are still printed). ns/op is gated only when both entries were
+// measured on the same CPU count — cross-hardware throughput ratios are
+// reported as informational. allocs/op is hardware-independent and gated
+// unconditionally (a zero-alloc baseline entry gates on any growth
+// beyond maxRegression× of one alloc).
 func compare(w *log.Logger, base, cur Record, maxRegression float64) []string {
 	byName := make(map[string]Bench, len(cur.Results))
 	for _, b := range cur.Results {
 		byName[b.Name] = b
 	}
 	var failed []string
-	w.Printf("%-26s %14s %14s %8s", "benchmark", "base ns/op", "now ns/op", "ratio")
+	w.Printf("%-26s %14s %14s %8s %8s %8s %8s", "benchmark",
+		"base ns/op", "now ns/op", "ns", "allocs", "base", "now")
 	for _, b := range base.Results {
 		c, ok := byName[b.Name]
 		if !ok {
@@ -253,10 +310,27 @@ func compare(w *log.Logger, base, cur Record, maxRegression float64) []string {
 			failed = append(failed, b.Name+" (missing)")
 			continue
 		}
-		ratio := c.NsPerOp / b.NsPerOp
-		w.Printf("%-26s %14.0f %14.0f %7.2fx", b.Name, b.NsPerOp, c.NsPerOp, ratio)
-		if maxRegression > 0 && ratio > maxRegression {
-			failed = append(failed, fmt.Sprintf("%s (%.2fx > %.2fx)", b.Name, ratio, maxRegression))
+		sameHW := entryCPUs(b, base) == entryCPUs(c, cur)
+		nsRatio := c.NsPerOp / b.NsPerOp
+		nsCol := fmt.Sprintf("%.2fx", nsRatio)
+		if !sameHW {
+			nsCol += "*" // informational: different CPU counts
+		}
+		baseAllocs := float64(b.AllocsPerOp)
+		if baseAllocs == 0 {
+			baseAllocs = 1
+		}
+		allocRatio := float64(c.AllocsPerOp) / baseAllocs
+		w.Printf("%-26s %14.0f %14.0f %8s %7.2fx %8d %8d", b.Name,
+			b.NsPerOp, c.NsPerOp, nsCol, allocRatio, b.AllocsPerOp, c.AllocsPerOp)
+		if maxRegression <= 0 {
+			continue
+		}
+		if sameHW && nsRatio > maxRegression {
+			failed = append(failed, fmt.Sprintf("%s (ns/op %.2fx > %.2fx)", b.Name, nsRatio, maxRegression))
+		}
+		if allocRatio > maxRegression {
+			failed = append(failed, fmt.Sprintf("%s (allocs/op %.2fx > %.2fx)", b.Name, allocRatio, maxRegression))
 		}
 	}
 	return failed
@@ -279,7 +353,7 @@ func readRecord(path string) (Record, error) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return Record{}, fmt.Errorf("%s: %w", path, err)
 	}
-	if rec.Schema != schemaV1 {
+	if rec.Schema != schemaV1 && rec.Schema != schemaV2 {
 		return Record{}, fmt.Errorf("%s: unknown schema %q", path, rec.Schema)
 	}
 	return rec, nil
@@ -288,9 +362,9 @@ func readRecord(path string) (Record, error) {
 func run(args []string, logger *log.Logger) error {
 	fs := flag.NewFlagSet("palu-bench", flag.ContinueOnError)
 	var (
-		out           = fs.String("out", "BENCH_PR5.json", "output JSON path")
+		out           = fs.String("out", "BENCH_PR6.json", "output JSON path")
 		comparePath   = fs.String("compare", "", "baseline JSON to compare against (benchstat-style ratios)")
-		maxRegression = fs.Float64("max-regression", 0, "fail when any ns/op ratio vs the baseline exceeds this factor (0 = report only)")
+		maxRegression = fs.Float64("max-regression", 0, "fail when any same-hardware ns/op or any allocs/op ratio vs the baseline exceeds this factor (0 = report only)")
 		packets       = fs.Int64("packets", 2_000_000, "pipeline benchmark trace length in packets")
 		replayPackets = fs.Int64("replay-packets", 500_000, "PTRC replay benchmark archive length in packets")
 		fitN          = fs.Int("fit-n", 300_000, "observed-histogram sample size for the fit benchmarks")

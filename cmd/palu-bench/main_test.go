@@ -32,6 +32,9 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 	}
 	want := []string{
 		"pipeline-reduce-serial", "pipeline-reduce-sharded",
+		"pipeline-w1-s1", "pipeline-w1-s4", "pipeline-w1-s8",
+		"pipeline-w2-s1", "pipeline-w2-s4", "pipeline-w2-s8",
+		"pipeline-w4-s1", "pipeline-w4-s4", "pipeline-w4-s8",
 		"ptrc-replay-sequential", "ptrc-replay-parallel",
 		"fit-zm", "fit-registry",
 	}
@@ -46,6 +49,15 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 		if b.NsPerOp <= 0 {
 			t.Errorf("%s: ns/op = %v", name, b.NsPerOp)
 		}
+		if b.CPUs <= 0 {
+			t.Errorf("%s: entry records no CPU count", name)
+		}
+	}
+	// The matrix point {1,1} is the serial pin measured once: identical
+	// numbers under both names, with the matrix geometry recorded.
+	serial, w1s1 := rec.Results[0], rec.Results[2]
+	if serial.NsPerOp != w1s1.NsPerOp || serial.Workers != 1 || serial.Shards != 1 {
+		t.Errorf("serial pin and w1-s1 should be one measurement: %+v vs %+v", serial, w1s1)
 	}
 
 	// Self-compare under any gate passes (ratio 1.0 exactly).
@@ -63,6 +75,29 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 		t.Fatalf("inflated baseline should trip every benchmark, tripped %v", failed)
 	}
 
+	// The same inflated baseline on different hardware must NOT trip the
+	// ns/op gate: throughput is only comparable at equal CPU counts.
+	foreign := fast
+	foreign.Results = append([]Bench(nil), fast.Results...)
+	for i := range foreign.Results {
+		foreign.Results[i].CPUs = rec.Results[i].CPUs + 96
+	}
+	if failed := compare(quiet(), foreign, rec, 2); len(failed) != 0 {
+		t.Fatalf("cross-hardware ns/op should not gate, tripped %v", failed)
+	}
+
+	// The allocs/op gate is hardware-independent: an alloc regression
+	// trips even across differing CPU counts.
+	lean := rec
+	lean.Results = append([]Bench(nil), rec.Results...)
+	for i := range lean.Results {
+		lean.Results[i].CPUs = rec.Results[i].CPUs + 96
+		lean.Results[i].AllocsPerOp = rec.Results[i].AllocsPerOp/10 + 1
+	}
+	if failed := compare(quiet(), lean, rec, 2); len(failed) == 0 {
+		t.Fatal("allocs/op regression should gate regardless of CPU count")
+	}
+
 	// A gate of 0 reports but never fails.
 	if failed := compare(quiet(), fast, rec, 0); len(failed) != 0 {
 		t.Fatalf("disabled gate should not fail, got %v", failed)
@@ -75,6 +110,26 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 	failed := compare(quiet(), missing, rec, 1000)
 	if len(failed) != 1 || !strings.Contains(failed[0], "missing") {
 		t.Fatalf("missing benchmark should fail the compare, got %v", failed)
+	}
+}
+
+// TestReadRecordAcceptsV1 pins baseline compatibility: a v1 record (no
+// per-entry CPUs) still loads, and its entries inherit the record-level
+// CPU count for comparison purposes.
+func TestReadRecordAcceptsV1(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "v1.json")
+	v1 := `{"schema":"palu-bench-v1","go":"go1.0","cpus":4,"benchmarks":[
+		{"name":"pipeline-reduce-serial","ns_per_op":100,"allocs_per_op":5,"bytes_per_op":10}]}`
+	if err := os.WriteFile(p, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := readRecord(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entryCPUs(rec.Results[0], rec); got != 4 {
+		t.Fatalf("v1 entry CPUs = %d, want record-level 4", got)
 	}
 }
 

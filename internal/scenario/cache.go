@@ -136,8 +136,10 @@ func (c *WindowCache) ensure(req WindowReq) (string, error) {
 // a budget of one replays through the sequential reader (decode inline
 // on the ingest goroutine, no extra pool), wider budgets give half to a
 // parallel decode pool — either way the replay stays inside the budget
-// instead of stacking a decode pool on top of it. Both readers deliver
-// the identical packet sequence, so the split never changes results.
+// instead of stacking a decode pool on top of it. Both readers implement
+// stream.EncodedBlockSource, so either way the pipeline replays the
+// archive over the fused one-pass decode path, and both deliver the
+// identical packet sequence — the split never changes results.
 func (c *WindowCache) Stream(req WindowReq, cfg stream.PipelineConfig, sinks ...stream.Sink) (stream.PipelineStats, error) {
 	path, err := c.ensure(req)
 	if err != nil {

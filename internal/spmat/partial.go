@@ -109,9 +109,10 @@ func (p WindowPartial) Rebase(offset uint32) (WindowPartial, error) {
 }
 
 // Matrix freezes the partial into an immutable Matrix (sharing no
-// state; the entries are copied).
+// state; the entries are copied). The partial's entries are already
+// canonical — sorted, unique, positive — so no re-sort is needed.
 func (p WindowPartial) Matrix() *Matrix {
-	return FromEntries(p.entries)
+	return &Matrix{entries: append([]Entry(nil), p.entries...), total: p.total}
 }
 
 // Aggregates computes the Table I aggregate properties of the partial

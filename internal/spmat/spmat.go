@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -34,24 +35,37 @@ type Entry struct {
 // Builder accumulates packet observations into a sparse matrix. It is the
 // COO/DOK accumulation stage; Build freezes it into an immutable Matrix.
 //
-// The builder also maintains every Fig. 1 reduction incrementally while
-// packets arrive: per-source and per-destination packet totals, fan-out
-// and fan-in (which advance exactly when a link count goes 0 → 1), and
-// the Table I aggregates. A streaming consumer therefore never needs a
-// post-hoc scan over a frozen Matrix, and a Reset lets one builder be
-// pooled across windows without reallocating its tables.
+// The hot path maintains exactly one reduction while packets arrive: the
+// per-link packet counts, one flat-table accumulation per packet (see
+// AddPairs for the bulk fused-decode entry point). Every other Fig. 1
+// reduction — per-source and per-destination packet totals, fan-out and
+// fan-in — plus the Table I aggregates is *derived* from the link table
+// in a single pass the first time it is asked for after an accumulation.
+// A window closes once, so the streaming pipeline pays the derivation
+// exactly once per window while its per-packet loop stays a single hash,
+// probe and add; the derived tables are identical to what incremental
+// maintenance would have produced, because every reduction is an
+// order-independent integer accumulation over the same link counts.
+//
+// A Reset lets one builder be pooled across windows without reallocating
+// any of its tables. Builder is not safe for concurrent use: the
+// accessor methods (Aggregates, ForEach*, snapshots) may materialize the
+// derived reductions and therefore also mutate internal state.
 //
 // Storage is the open-addressing flat tables of flat.go, not Go maps:
-// the five per-packet accumulations are the hottest loop in the repo,
-// and the flat tables turn each into a hash, a short linear probe and
-// an in-place add.
+// the per-packet accumulation is the hottest loop in the repo, and the
+// flat tables turn it into a hash, a short linear probe over interleaved
+// key/count slots and an in-place add.
 type Builder struct {
-	counts flatTable[uint64] // packets per (src, dst) link
-	srcPk  flatTable[uint32] // packets sent per source (row sums)
-	dstPk  flatTable[uint32] // packets received per destination (column sums)
-	fanOut flatTable[uint32] // unique destinations per source
-	fanIn  flatTable[uint32] // unique sources per destination
-	total  int64
+	counts flatTable[uint64] // packets per (src, dst) link — the hot path
+	// Derived from counts on demand (see derive); valid while derived.
+	// Each node table interleaves both reductions keyed by that endpoint
+	// — packet totals (row/column sums) with fan-out/fan-in — so derive
+	// pays one probe per link endpoint instead of two.
+	srcTab  nodeTable // per source: packets sent, unique destinations
+	dstTab  nodeTable // per destination: packets received, unique sources
+	total   int64
+	derived bool
 }
 
 // NewBuilder returns an empty accumulation builder.
@@ -73,35 +87,65 @@ func (b *Builder) AddPacket(src, dst uint32) { b.addN(src, dst, 1) }
 
 // addN is the unchecked accumulation core: n > 0.
 func (b *Builder) addN(src, dst uint32, n int64) {
-	if b.counts.add(linkKey(src, dst), n) == n { // new unique link
-		b.fanOut.add(src, 1)
-		b.fanIn.add(dst, 1)
-	}
-	b.srcPk.add(src, n)
-	b.dstPk.add(dst, n)
+	b.counts.add(linkKey(src, dst), n)
 	b.total += n
+	b.derived = false
 }
 
-// Merge folds another builder's counts into b. The other builder remains
-// valid; Merge is the reduction step of the parallel shard builders. It
-// is correct under any packet partitioning: per-link counts combine by
-// addition, and the node reductions are re-derived through addN's
-// 0 → 1 fan tracking.
+// AddPairs bulk-accumulates packed (src<<32 | dst) link keys, one packet
+// each: the fused decode→reduce entry point. Batching lets the flat
+// table overlap the cache misses of several probes (see addBatch), so
+// feeding the builder runs of keys is measurably faster than one
+// AddPacket per packet even before any decode fusion.
+func (b *Builder) AddPairs(keys []uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	b.counts.addBatch(keys)
+	b.total += int64(len(keys))
+	b.derived = false
+}
+
+// derive materializes the four node reductions from the link counts in
+// one pass: each unique link contributes its count and one fan unit to
+// its source's and destination's interleaved node slots. Each reduction
+// is an order-independent integer accumulation, so the result is
+// identical to incremental per-packet maintenance regardless of the
+// order packets (or merged shards) arrived in.
+func (b *Builder) derive() {
+	if b.derived {
+		return
+	}
+	b.srcTab.reset()
+	b.dstTab.reset()
+	b.counts.forEach(func(k uint64, v int64) {
+		b.srcTab.add(uint32(k>>32), v)
+		b.dstTab.add(uint32(k), v)
+	})
+	b.derived = true
+}
+
+// Merge folds another builder's link counts into b. The other builder
+// remains valid; Merge is the reduction step of the parallel shard
+// builders. It is correct under any packet partitioning: per-link counts
+// combine by addition, and every node reduction re-derives from the
+// merged link table.
 func (b *Builder) Merge(other *Builder) {
 	other.counts.forEach(func(k uint64, v int64) {
-		b.addN(uint32(k>>32), uint32(k), v)
+		b.counts.add(k, v)
 	})
+	b.total += other.total
+	b.derived = false
 }
 
 // Reset empties the builder for reuse, retaining the allocated table
 // capacity: the pipeline's per-window allocation-churn killer.
 func (b *Builder) Reset() {
 	b.counts.reset()
-	b.srcPk.reset()
-	b.dstPk.reset()
-	b.fanOut.reset()
-	b.fanIn.reset()
+	b.srcTab.reset()
+	b.dstTab.reset()
 	b.total = 0
+	b.derived = false
 }
 
 // NNZ returns the number of distinct (src, dst) links accumulated so far.
@@ -112,52 +156,78 @@ func (b *Builder) NNZ() int { return b.counts.len() }
 func (b *Builder) Total() int64 { return b.total }
 
 // Aggregates returns the Table I aggregate properties of the accumulated
-// window in O(1), from the incrementally maintained state.
+// window: O(1) once the node reductions are derived, one pass over the
+// link table the first time after an accumulation.
 func (b *Builder) Aggregates() Aggregates {
+	b.derive()
 	return Aggregates{
 		ValidPackets:       b.total,
 		UniqueLinks:        int64(b.counts.len()),
-		UniqueSources:      int64(b.srcPk.len()),
-		UniqueDestinations: int64(b.dstPk.len()),
+		UniqueSources:      int64(b.srcTab.len()),
+		UniqueDestinations: int64(b.dstTab.len()),
 	}
 }
 
 // ForEachSourcePacket calls f for every source and its packet total (the
 // "source packets" reduction of Fig. 1), in unspecified order.
-func (b *Builder) ForEachSourcePacket(f func(id uint32, n int64)) { b.srcPk.forEach(f) }
+func (b *Builder) ForEachSourcePacket(f func(id uint32, n int64)) {
+	b.derive()
+	b.srcTab.forEachPk(f)
+}
 
 // ForEachSourceFanOut calls f for every source and its unique-destination
 // count ("source fan-out"), in unspecified order.
-func (b *Builder) ForEachSourceFanOut(f func(id uint32, n int64)) { b.fanOut.forEach(f) }
+func (b *Builder) ForEachSourceFanOut(f func(id uint32, n int64)) {
+	b.derive()
+	b.srcTab.forEachFan(f)
+}
 
 // ForEachDestinationFanIn calls f for every destination and its
 // unique-source count ("destination fan-in"), in unspecified order.
-func (b *Builder) ForEachDestinationFanIn(f func(id uint32, n int64)) { b.fanIn.forEach(f) }
+func (b *Builder) ForEachDestinationFanIn(f func(id uint32, n int64)) {
+	b.derive()
+	b.dstTab.forEachFan(f)
+}
 
 // ForEachDestinationPacket calls f for every destination and its packet
 // total ("destination packets"), in unspecified order.
-func (b *Builder) ForEachDestinationPacket(f func(id uint32, n int64)) { b.dstPk.forEach(f) }
+func (b *Builder) ForEachDestinationPacket(f func(id uint32, n int64)) {
+	b.derive()
+	b.dstTab.forEachPk(f)
+}
 
 // SourcePackets returns a fresh snapshot of the per-source packet totals
 // (the "source packets" reduction of Fig. 1). O(n); streaming consumers
 // should prefer ForEachSourcePacket.
-func (b *Builder) SourcePackets() map[uint32]int64 { return tableSnapshot(&b.srcPk) }
+func (b *Builder) SourcePackets() map[uint32]int64 {
+	b.derive()
+	return nodeSnapshot(b.srcTab.len(), b.srcTab.forEachPk)
+}
 
 // SourceFanOut returns a fresh snapshot of the per-source
 // unique-destination counts ("source fan-out").
-func (b *Builder) SourceFanOut() map[uint32]int64 { return tableSnapshot(&b.fanOut) }
+func (b *Builder) SourceFanOut() map[uint32]int64 {
+	b.derive()
+	return nodeSnapshot(b.srcTab.len(), b.srcTab.forEachFan)
+}
 
 // DestinationFanIn returns a fresh snapshot of the per-destination
 // unique-source counts ("destination fan-in").
-func (b *Builder) DestinationFanIn() map[uint32]int64 { return tableSnapshot(&b.fanIn) }
+func (b *Builder) DestinationFanIn() map[uint32]int64 {
+	b.derive()
+	return nodeSnapshot(b.dstTab.len(), b.dstTab.forEachFan)
+}
 
 // DestinationPackets returns a fresh snapshot of the per-destination
 // packet totals ("destination packets").
-func (b *Builder) DestinationPackets() map[uint32]int64 { return tableSnapshot(&b.dstPk) }
+func (b *Builder) DestinationPackets() map[uint32]int64 {
+	b.derive()
+	return nodeSnapshot(b.dstTab.len(), b.dstTab.forEachPk)
+}
 
-func tableSnapshot(t *flatTable[uint32]) map[uint32]int64 {
-	out := make(map[uint32]int64, t.len())
-	t.forEach(func(id uint32, n int64) { out[id] = n })
+func nodeSnapshot(n int, forEach func(func(id uint32, n int64))) map[uint32]int64 {
+	out := make(map[uint32]int64, n)
+	forEach(func(id uint32, v int64) { out[id] = v })
 	return out
 }
 
@@ -169,25 +239,38 @@ func (b *Builder) ForEachLink(f func(src, dst uint32, count int64)) {
 	})
 }
 
+// sortedEntries freezes the link counts into canonical (Src, Dst)-sorted
+// entries: the one shared materialization behind Build and Partial. The
+// packed link key orders exactly as the (Src, Dst) lexicographic pair,
+// so a single integer comparison sorts canonically.
+func (b *Builder) sortedEntries() []Entry {
+	entries := make([]Entry, 0, b.counts.len())
+	b.counts.forEach(func(k uint64, v int64) {
+		entries = append(entries, Entry{Src: uint32(k >> 32), Dst: uint32(k), Count: v})
+	})
+	slices.SortFunc(entries, func(a, e Entry) int {
+		ka, ke := linkKey(a.Src, a.Dst), linkKey(e.Src, e.Dst)
+		switch {
+		case ka < ke:
+			return -1
+		case ka > ke:
+			return 1
+		}
+		return 0
+	})
+	return entries
+}
+
 // Build freezes the accumulated counts into an immutable CSR-ordered
 // Matrix. The builder can continue to accumulate afterwards.
 func (b *Builder) Build() *Matrix {
-	entries := make([]Entry, 0, b.counts.len())
-	b.ForEachLink(func(src, dst uint32, v int64) {
-		entries = append(entries, Entry{Src: src, Dst: dst, Count: v})
-	})
-	return FromEntries(entries)
+	return &Matrix{entries: b.sortedEntries(), total: b.total}
 }
 
 // Partial freezes the accumulated state into a deterministic, mergeable
 // WindowPartial. The builder can continue to accumulate afterwards.
 func (b *Builder) Partial() WindowPartial {
-	entries := make([]Entry, 0, b.counts.len())
-	b.ForEachLink(func(src, dst uint32, v int64) {
-		entries = append(entries, Entry{Src: src, Dst: dst, Count: v})
-	})
-	sortEntries(entries)
-	return WindowPartial{entries: entries, total: b.total}
+	return WindowPartial{entries: b.sortedEntries(), total: b.total}
 }
 
 // Matrix is an immutable sparse traffic matrix in row-major (CSR-like)

@@ -5,26 +5,42 @@ package stream
 // path the paper's premise ("large scale streaming network data")
 // actually demands:
 //
-//	PacketSource → fixed-NV windower → bounded worker pool → Sinks
+//	PacketSource → fixed-NV windower → reduce → Sinks
 //
-// Packets are pulled from a PacketSource (whole decoded runs at a time
-// when the source is a BlockSource, e.g. the PTRC readers); the ingest
-// loop does nothing but filter invalid packets and route valid ones by
-// link-key hash into the shard buffers of a pooled window chunk, so the
-// serial stage is branch-hash-copy cheap. Each completed window is
-// fanned out to a fixed worker pool. A worker owns one spmat.Builder
-// per shard for its lifetime: the shard buffers replay concurrently
-// through Builder.AddPacket — which maintains every Fig. 1 reduction
-// incrementally on open-addressing flat tables — and merge in fixed
-// shard order, so the merged state is identical to a serial reduce at
-// any worker/shard count. The worker then converts that state into the
-// five quantity histograms in a single pass (no frozen Matrix, no sort,
-// no post-hoc map scans), resets the builders with their tables still
-// warm, and returns the chunk to the pool. A consumer goroutine
-// re-orders completed windows and feeds each Sink in strict window
-// order, so every sink observes exactly the sequence a serial batch
-// pass would produce. At no point are more than workers+1 windows
-// resident in memory, regardless of trace length.
+// Since the fused-decode refactor the unit flowing through the pipeline
+// is the packed (src<<32 | dst) link key of a valid packet, not the
+// Packet struct: invalid packets are filtered (and counted) at ingest,
+// and everything downstream — shard routing, the spmat flat tables, the
+// handoff buffers — speaks packed keys. Sources split into three tiers:
+//
+//   - PacketSource: one interface call per packet; keys are batched on
+//     the stack before entering the reduce so the flat tables can
+//     overlap their cache misses (spmat.Builder.AddPairs).
+//   - BlockSource: whole decoded runs at a time (the PTRC readers);
+//     filter, pack and batch in one tight loop.
+//   - EncodedBlockSource: the fused hot path. The source decodes its
+//     compressed blocks *directly into the window under construction* —
+//     one pass over the uvarint buffer, no []Packet materialization at
+//     all (see tracestore.Reader.DecodeInto).
+//
+// With Workers == 1 and Shards == 1 the pipeline runs fully fused on the
+// calling goroutine: valid packets accumulate straight into one pooled
+// spmat.Builder, windows reduce and feed the sinks inline, and no
+// intermediate buffer of any kind exists between the source and the
+// flat tables. Otherwise the ingest loop routes keys by link-key hash
+// into the shard buffers of a pooled PairWindow and hands each completed
+// window to a fixed worker pool: a worker owns one spmat.Builder per
+// shard for its lifetime, replays the shard buffers concurrently
+// through Builder.AddPairs, merges in fixed shard order, converts the
+// merged state into the five Fig. 1 quantity histograms, resets the
+// builders with their tables still warm, and returns the window to the
+// pool. A consumer goroutine re-orders completed windows and feeds each
+// Sink in strict window order, so every sink observes exactly the
+// sequence a serial pass would produce — byte-identical at any
+// workers × shards combination, because every reduction is an
+// order-independent integer accumulation and shard merges happen in
+// fixed order. At no point are more than workers+1 windows resident in
+// memory, regardless of trace length.
 
 import (
 	"errors"
@@ -90,7 +106,7 @@ type PacketCounter interface {
 // BlockSource is the optional bulk extension of PacketSource: sources
 // that naturally hold runs of decoded packets (the tracestore block
 // readers) expose them whole, and Run's ingest loop consumes the run
-// with a tight filter-and-copy loop instead of one interface call per
+// with a tight filter-and-pack loop instead of one interface call per
 // packet — the serial stage of the pipeline is then bounded by memory
 // bandwidth, not call overhead. (SliceSource deliberately stays
 // per-packet: it is the reference source, and bounded runs over it pin
@@ -103,6 +119,23 @@ type BlockSource interface {
 	// must copy what they keep. Next and NextBlock may be interleaved;
 	// both consume the same underlying sequence.
 	NextBlock() ([]Packet, bool)
+}
+
+// EncodedBlockSource is the fused extension of PacketSource: sources
+// whose blocks exist in an encoded on-disk form (the PTRC readers)
+// decode them directly into the window under construction, skipping the
+// []Packet materialization of the BlockSource path entirely. Run prefers
+// this path over BlockSource whenever a source offers both.
+type EncodedBlockSource interface {
+	PacketSource
+	// DecodeInto decodes packets from the source's current block run
+	// directly into w, stopping early once w is full. It reports the
+	// valid/invalid split of the packets consumed, full = true when w
+	// reached its window size, and ok = false at end of stream (the
+	// consumer must then check Err). A call consumes at most one block
+	// run; callers loop. DecodeInto must not be interleaved with Next or
+	// NextBlock on the same source.
+	DecodeInto(w *PairWindow) (valid, invalid int64, full, ok bool)
 }
 
 // takeValidSource limits a source to a prefix ending at its n-th valid
@@ -207,7 +240,9 @@ type PipelineConfig struct {
 	// NV is the window size in valid packets (required, positive).
 	NV int64
 	// Workers bounds the worker pool; <= 0 selects GOMAXPROCS. Window
-	// residency is bounded by Workers+1.
+	// residency is bounded by Workers+1. Workers == 1 with Shards <= 1
+	// selects the fully fused serial pipeline: ingest, reduce and sinks
+	// share the calling goroutine and no handoff buffers exist.
 	Workers int
 	// Shards is the intra-window parallel-reduce width: each window's
 	// packets are partitioned by link-key hash into Shards builders
@@ -263,16 +298,22 @@ type PipelineStats struct {
 	// -1 otherwise. For a fully drained counting source it equals
 	// ValidPackets + InvalidPackets; a shortfall against an expected trace
 	// length indicates a truncated archive. A MaxWindows-bounded run over
-	// a BlockSource may read up to one block past the packets it counts
-	// (consumption granularity is the block).
+	// a block-based source may read up to one block past the packets it
+	// counts (consumption granularity is the block).
 	SourcePacketsRead int64
 }
 
+// pairBatch is the stack batch size of the per-packet and per-block
+// ingest loops: keys are collected in runs of this size before entering
+// the flat tables, so spmat's batched adds can overlap their cache
+// misses. 256 keys = 2 KiB of stack, 32 prefetch strides per flush.
+const pairBatch = 256
+
 // Run executes the streaming pipeline: it ingests packets from src on
 // the calling goroutine, cuts fixed-NV windows, reduces each completed
-// window on a bounded worker pool, and feeds the results to the sinks in
-// window order. It returns when the source is exhausted, MaxWindows is
-// reached, the source fails, or a sink returns an error.
+// window, and feeds the results to the sinks in window order. It returns
+// when the source is exhausted, MaxWindows is reached, the source fails,
+// or a sink returns an error.
 func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, error) {
 	stats := PipelineStats{SourcePacketsRead: -1}
 	if src == nil {
@@ -288,12 +329,129 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 	if cfg.MaxWindows > 0 && workers > cfg.MaxWindows {
 		workers = cfg.MaxWindows // never more workers than windows to reduce
 	}
-
 	shards := cfg.shards()
 
+	var err error
+	if workers == 1 && shards == 1 {
+		err = runSerial(src, cfg, &stats, sinks)
+	} else {
+		err = runParallel(src, cfg, workers, shards, &stats, sinks)
+	}
+	if c, ok := src.(PacketCounter); ok {
+		stats.SourcePacketsRead = c.PacketsRead()
+	}
+	if err != nil {
+		return stats, err
+	}
+	return stats, src.Err()
+}
+
+// runSerial is the fully fused single-worker, single-shard pipeline:
+// ingest, window reduce and sink delivery share the calling goroutine,
+// and valid packets accumulate straight into one pooled builder — no
+// chunk buffers, no channels, no goroutines. For EncodedBlockSource
+// this is the one-pass hot path: compressed PTRC payloads decode
+// directly into the builder's flat tables.
+func runSerial(src PacketSource, cfg PipelineConfig, stats *PipelineStats, sinks []Sink) error {
+	b := spmat.NewBuilder()
+	w := newDirectWindow(b, cfg.NV)
+	t := 0
+	done := false
+	closeWindow := func() error {
+		res, err := reduceWindow(t, b, cfg)
+		if err != nil {
+			return err
+		}
+		for _, s := range sinks {
+			if err := s.ConsumeWindow(res); err != nil {
+				return err
+			}
+		}
+		stats.Windows++
+		t++
+		b.Reset()
+		w.n = 0
+		if cfg.MaxWindows > 0 && t >= cfg.MaxWindows {
+			done = true
+		}
+		return nil
+	}
+	switch s := src.(type) {
+	case EncodedBlockSource:
+		for !done {
+			valid, invalid, full, ok := s.DecodeInto(w)
+			stats.ValidPackets += valid
+			stats.InvalidPackets += invalid
+			if full {
+				if err := closeWindow(); err != nil {
+					return err
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+	case BlockSource:
+		for !done {
+			blk, ok := s.NextBlock()
+			if !ok {
+				break
+			}
+			for len(blk) > 0 && !done {
+				consumed, valid, invalid, full := w.addPackets(blk)
+				stats.ValidPackets += valid
+				stats.InvalidPackets += invalid
+				blk = blk[consumed:]
+				if full {
+					if err := closeWindow(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	default:
+		var batch [pairBatch]uint64
+		k := 0
+		for !done {
+			p, ok := src.Next()
+			if !ok {
+				break
+			}
+			if !p.Valid {
+				stats.InvalidPackets++
+				continue
+			}
+			batch[k] = uint64(p.Src)<<32 | uint64(p.Dst)
+			k++
+			stats.ValidPackets++
+			if w.n+int64(k) == cfg.NV {
+				w.AddPairs(batch[:k])
+				k = 0
+				if err := closeWindow(); err != nil {
+					return err
+				}
+			} else if k == len(batch) {
+				w.AddPairs(batch[:k])
+				k = 0
+			}
+		}
+		if k > 0 {
+			w.AddPairs(batch[:k])
+		}
+	}
+	stats.DiscardedTail = w.n
+	return nil
+}
+
+// runParallel is the worker-pool pipeline: the ingest loop (on the
+// calling goroutine) packs and routes valid packets into the shard
+// buffers of pooled PairWindows, completed windows reduce on a bounded
+// worker pool, and a consumer goroutine re-orders completions so sinks
+// observe strict window order.
+func runParallel(src PacketSource, cfg PipelineConfig, workers, shards int, stats *PipelineStats, sinks []Sink) error {
 	type job struct {
 		t     int
-		chunk *windowChunk // exactly NV valid packets, pre-partitioned
+		chunk *PairWindow // exactly NV valid packets, pre-partitioned
 	}
 	type outcome struct {
 		t   int
@@ -301,12 +459,12 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 		err error
 	}
 
-	// The chunk pool is the memory bound: workers+1 window-sized
-	// pre-partitioned chunks exist for the lifetime of the run (one
+	// The window pool is the memory bound: workers+1 window-sized
+	// pre-partitioned key buffers exist for the lifetime of the run (one
 	// filling, up to workers being reduced).
-	free := make(chan *windowChunk, workers+1)
+	free := make(chan *PairWindow, workers+1)
 	for i := 0; i < workers+1; i++ {
-		free <- newWindowChunk(shards, cfg.NV)
+		free <- newPairWindow(shards, cfg.NV)
 	}
 	jobs := make(chan job)
 	results := make(chan outcome, workers)
@@ -341,7 +499,7 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 
 	// The consumer re-orders worker completions into window order and
 	// feeds the sinks sequentially, so sinks observe windows exactly as
-	// a serial batch pass would. At most `workers` results are pending.
+	// a serial pass would. At most `workers` results are pending.
 	var consumeErr error
 	delivered := 0
 	consumerDone := make(chan struct{})
@@ -380,10 +538,11 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 		}
 	}()
 
-	// Ingest loop, on the caller's goroutine: filter, partition, hand off.
+	// Ingest loop, on the caller's goroutine: filter, pack, route, hand
+	// off.
 	chunk := <-free
 	t := 0
-	// handoff ships the full chunk to the worker pool and acquires a
+	// handoff ships the full window to the worker pool and acquires a
 	// fresh buffer; it returns false when ingest must stop (consumer-side
 	// error or MaxWindows reached).
 	handoff := func() bool {
@@ -404,19 +563,34 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 		}
 		return true
 	}
-	if bs, ok := src.(BlockSource); ok {
-		// Bulk path: whole decoded runs (the tracestore readers hand
-		// blocks over verbatim) feed the shard buffers through AddBlock —
-		// filter, hash and route in one tight loop with no per-packet
-		// interface dispatch.
+	switch s := src.(type) {
+	case EncodedBlockSource:
+		// Fused path: the source decodes compressed block runs straight
+		// into the shard buffers — one pass, no []Packet materialization.
+	ingestEncoded:
+		for {
+			valid, invalid, full, ok := s.DecodeInto(chunk)
+			stats.ValidPackets += valid
+			stats.InvalidPackets += invalid
+			if full && !handoff() {
+				break ingestEncoded
+			}
+			if !ok {
+				break
+			}
+		}
+	case BlockSource:
+		// Bulk path: whole decoded runs feed the shard buffers through
+		// addPackets — filter, pack, hash and route in one tight loop
+		// with no per-packet interface dispatch.
 	ingestBlocks:
 		for {
-			blk, ok := bs.NextBlock()
+			blk, ok := s.NextBlock()
 			if !ok {
 				break
 			}
 			for len(blk) > 0 {
-				consumed, valid, invalid, full := chunk.AddBlock(blk, cfg.NV)
+				consumed, valid, invalid, full := chunk.addPackets(blk)
 				stats.ValidPackets += valid
 				stats.InvalidPackets += invalid
 				blk = blk[consumed:]
@@ -425,9 +599,12 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 				}
 			}
 		}
-	} else {
+	default:
+		var batch [pairBatch]uint64
+		k := 0
+	ingestPackets:
 		for {
-			p, ok := src.Next()
+			p, ok := s.Next()
 			if !ok {
 				break
 			}
@@ -435,18 +612,26 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 				stats.InvalidPackets++
 				continue
 			}
-			chunk.add(p)
+			batch[k] = uint64(p.Src)<<32 | uint64(p.Dst)
+			k++
 			stats.ValidPackets++
-			if chunk.n == cfg.NV && !handoff() {
-				break
+			if chunk.n+int64(k) == cfg.NV {
+				chunk.AddPairs(batch[:k])
+				k = 0
+				if !handoff() {
+					break ingestPackets
+				}
+			} else if k == len(batch) {
+				chunk.AddPairs(batch[:k])
+				k = 0
 			}
+		}
+		if chunk != nil && k > 0 {
+			chunk.AddPairs(batch[:k])
 		}
 	}
 	if chunk != nil {
 		stats.DiscardedTail = chunk.n
-	}
-	if c, ok := src.(PacketCounter); ok {
-		stats.SourcePacketsRead = c.PacketsRead()
 	}
 	close(jobs)
 	wg.Wait()
@@ -454,51 +639,134 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 	<-consumerDone
 
 	stats.Windows = delivered // reading after consumerDone: no race
-	if consumeErr != nil {
-		return stats, consumeErr
-	}
-	if err := src.Err(); err != nil {
-		return stats, err
-	}
-	return stats, nil
+	return consumeErr
 }
 
-// windowChunk is one window's packets pre-partitioned by link-key hash
-// into shard buffers: the handoff unit between ingest and the worker
-// pool. With one shard it degenerates to a single buffer and the hash
-// is skipped.
-type windowChunk struct {
-	shards [][]Packet
-	n      int64 // valid packets buffered across all shards
+// PairWindow is one window's valid packets as packed (src<<32 | dst)
+// link keys: the handoff unit between ingest and the reduce stage, and
+// the deposit target of fused decoders (EncodedBlockSource.DecodeInto).
+// In buffering mode the keys are partitioned by link-key hash into
+// shard buffers; in direct mode (the fully fused serial pipeline) every
+// deposit goes straight into a spmat.Builder and no buffer exists.
+type PairWindow struct {
+	shards [][]uint64     // packed keys per shard (buffering mode)
+	direct *spmat.Builder // non-nil: fused serial mode, keys bypass buffering
+	n      int64          // valid packets deposited
+	nv     int64          // window size
 }
 
-// newWindowChunk allocates a chunk of the given shard width sized for
-// nv valid packets.
-func newWindowChunk(shards int, nv int64) *windowChunk {
-	c := &windowChunk{shards: make([][]Packet, shards)}
+// NewPairWindow allocates a buffering window of the given shard width
+// (clamped to [1, MaxShards]) sized for nv valid packets. The pipeline
+// pools its own windows; the exported constructor exists for direct
+// consumers of EncodedBlockSource (tests, custom replay tools).
+func NewPairWindow(shards int, nv int64) *PairWindow {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > MaxShards {
+		shards = MaxShards
+	}
+	return newPairWindow(shards, nv)
+}
+
+// newPairWindow allocates a buffering window of the given shard width
+// sized for nv valid packets.
+func newPairWindow(shards int, nv int64) *PairWindow {
+	w := &PairWindow{shards: make([][]uint64, shards), nv: nv}
 	per := int(nv)
 	if shards > 1 {
 		// Shard loads concentrate around nv/shards; leave headroom so
 		// ordinary imbalance does not re-allocate every window.
 		per = per/shards + per/(4*shards) + 16
 	}
-	for s := range c.shards {
-		c.shards[s] = make([]Packet, 0, per)
+	for s := range w.shards {
+		w.shards[s] = make([]uint64, 0, per)
 	}
-	return c
+	return w
 }
 
-// shardOf routes a (src, dst) link to a shard: a splitmix64-finalized
-// hash of the packed link key, range-reduced by modulo over the TOP 16
-// bits. Every packet of one link lands in one shard, which is what
-// makes the shard builders' link tables disjoint. The top bits matter:
-// spmat's flat tables index by the LOW bits of the same finalizer, so
-// selecting shards from the low bits would leave each shard's keys
-// agreeing in their table-index bits — only 1/S of the slots would
-// start probes, clustering the linear probing on the hottest loop.
-// Disjoint bit ranges keep the within-shard table distribution uniform.
-func shardOf(src, dst uint32, shards int) int {
-	h := uint64(src)<<32 | uint64(dst)
+// newDirectWindow returns a window depositing straight into b.
+func newDirectWindow(b *spmat.Builder, nv int64) *PairWindow {
+	return &PairWindow{direct: b, nv: nv}
+}
+
+// Remaining returns the number of valid packets the window still
+// accepts. Fused decoders size their deposits by it.
+func (w *PairWindow) Remaining() int64 { return w.nv - w.n }
+
+// AddPairs deposits packed (src<<32 | dst) link keys of valid packets.
+// len(keys) must not exceed Remaining(); the keys slice is not retained.
+func (w *PairWindow) AddPairs(keys []uint64) {
+	w.n += int64(len(keys))
+	switch {
+	case w.direct != nil:
+		w.direct.AddPairs(keys)
+	case len(w.shards) == 1:
+		w.shards[0] = append(w.shards[0], keys...)
+	default:
+		for _, k := range keys {
+			s := shardOfKey(k, len(w.shards))
+			w.shards[s] = append(w.shards[s], k)
+		}
+	}
+}
+
+// addPackets bulk-ingests a decoded packet run: valid packets are packed
+// into link keys and deposited in stack batches, invalid ones counted
+// and dropped, stopping as soon as the window fills. It reports how much
+// of blk it consumed, the valid/invalid split of the consumed prefix,
+// and whether the window is now full.
+func (w *PairWindow) addPackets(blk []Packet) (consumed int, valid, invalid int64, full bool) {
+	var batch [pairBatch]uint64
+	k := 0
+	rem := w.nv - w.n
+	for i, p := range blk {
+		if !p.Valid {
+			invalid++
+			continue
+		}
+		batch[k] = uint64(p.Src)<<32 | uint64(p.Dst)
+		k++
+		valid++
+		if int64(k) == rem {
+			w.AddPairs(batch[:k])
+			return i + 1, valid, invalid, true
+		}
+		if k == len(batch) {
+			w.AddPairs(batch[:k])
+			rem -= int64(k)
+			k = 0
+		}
+	}
+	if k > 0 {
+		w.AddPairs(batch[:k])
+	}
+	return len(blk), valid, invalid, false
+}
+
+// Reset empties the window for reuse, retaining buffer capacity.
+func (w *PairWindow) Reset() { w.reset() }
+
+// reset empties the window for reuse, retaining buffer capacity.
+func (w *PairWindow) reset() {
+	for s := range w.shards {
+		w.shards[s] = w.shards[s][:0]
+	}
+	w.n = 0
+}
+
+// shardOfKey routes a packed (src, dst) link key to a shard: a
+// splitmix64-finalized hash of the key, range-reduced by modulo over the
+// TOP 16 bits. Every packet of one link lands in one shard, which is
+// what makes the shard builders' link tables disjoint. The top bits
+// matter: spmat's flat tables index by the LOW bits of the same
+// finalizer, so selecting shards from the low bits would leave each
+// shard's keys agreeing in their table-index bits — only 1/S of the
+// slots would start probes, clustering the linear probing on the
+// hottest loop. Disjoint bit ranges keep the within-shard table
+// distribution uniform.
+func shardOfKey(key uint64, shards int) int {
+	h := key
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
@@ -507,59 +775,16 @@ func shardOf(src, dst uint32, shards int) int {
 	return int((h >> 48) % uint64(shards))
 }
 
-// add routes one valid packet into its shard buffer.
-func (c *windowChunk) add(p Packet) {
-	s := 0
-	if len(c.shards) > 1 {
-		s = shardOf(p.Src, p.Dst, len(c.shards))
-	}
-	c.shards[s] = append(c.shards[s], p)
-	c.n++
-}
-
-// AddBlock bulk-ingests a decoded block run: valid packets are hashed
-// and routed to shard buffers, invalid ones counted and dropped, in one
-// tight loop (the PTRC replay fast path — decoded blocks feed the shard
-// builders with no per-packet iterator). It stops as soon as the window
-// reaches nv valid packets and reports how much of blk it consumed, the
-// valid/invalid split of the consumed prefix, and whether the window is
-// now full.
-func (c *windowChunk) AddBlock(blk []Packet, nv int64) (consumed int, valid, invalid int64, full bool) {
-	for i, p := range blk {
-		if !p.Valid {
-			invalid++
-			continue
-		}
-		c.add(p)
-		valid++
-		if c.n == nv {
-			return i + 1, valid, invalid, true
-		}
-	}
-	return len(blk), valid, invalid, false
-}
-
-// reset empties the shard buffers, retaining capacity.
-func (c *windowChunk) reset() {
-	for s := range c.shards {
-		c.shards[s] = c.shards[s][:0]
-	}
-	c.n = 0
-}
-
-// reduceShards replays a chunk's shard buffers into per-shard builders
+// reduceShards replays a window's shard buffers into per-shard builders
 // concurrently and merges them in fixed shard order into builders[0],
 // which it returns. Because each (src, dst) link lives in exactly one
 // shard and every reduction product is an order-independent integer
 // accumulation, the merged state is identical to a serial reduce of the
 // whole window at any shard count.
-func reduceShards(builders []*spmat.Builder, c *windowChunk) *spmat.Builder {
+func reduceShards(builders []*spmat.Builder, c *PairWindow) *spmat.Builder {
 	if len(builders) == 1 {
-		b := builders[0]
-		for _, p := range c.shards[0] {
-			b.AddPacket(p.Src, p.Dst)
-		}
-		return b
+		builders[0].AddPairs(c.shards[0])
+		return builders[0]
 	}
 	var wg sync.WaitGroup
 	for s := 1; s < len(builders); s++ {
@@ -569,17 +794,12 @@ func reduceShards(builders []*spmat.Builder, c *windowChunk) *spmat.Builder {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			b := builders[s]
-			for _, p := range c.shards[s] {
-				b.AddPacket(p.Src, p.Dst)
-			}
+			builders[s].AddPairs(c.shards[s])
 		}(s)
 	}
-	b := builders[0]
-	for _, p := range c.shards[0] {
-		b.AddPacket(p.Src, p.Dst)
-	}
+	builders[0].AddPairs(c.shards[0])
 	wg.Wait()
+	b := builders[0]
 	for s := 1; s < len(builders); s++ { // fixed shard order
 		b.Merge(builders[s])
 	}
@@ -588,7 +808,8 @@ func reduceShards(builders []*spmat.Builder, c *windowChunk) *spmat.Builder {
 
 // reduceWindow converts a closed window's builder state into a
 // WindowResult: all five Fig. 1 histograms in one pass over the
-// incremental reductions, no intermediate Matrix required.
+// incremental reductions, no intermediate Matrix required. When both
+// the partial and the matrix are kept they share one canonicalization.
 func reduceWindow(t int, b *spmat.Builder, cfg PipelineConfig) (*WindowResult, error) {
 	res := &WindowResult{T: t, NV: b.Total(), Aggregates: b.Aggregates()}
 	var err error
@@ -614,12 +835,14 @@ func reduceWindow(t int, b *spmat.Builder, cfg PipelineConfig) (*WindowResult, e
 		return nil, err
 	}
 	res.Hists[LinkPackets] = lp
-	if cfg.KeepMatrices {
-		res.Matrix = b.Build()
-	}
 	if cfg.KeepPartials {
 		p := b.Partial()
 		res.Partial = &p
+		if cfg.KeepMatrices {
+			res.Matrix = p.Matrix() // shares the partial's canonical sort
+		}
+	} else if cfg.KeepMatrices {
+		res.Matrix = b.Build()
 	}
 	return res, nil
 }

@@ -342,13 +342,18 @@ func TestShardedReduceSpeedup(t *testing.T) {
 	if shards > MaxShards {
 		shards = MaxShards
 	}
-	// Warm both paths once at small scale (page in code, size tables).
+	// Warm all paths once at small scale (page in code, size tables).
 	mapReduceWindows(newSynthSource(1, 100_000, nodes, 0), 50_000, 0)
+	shardedRun(1, 100_000, 50_000, 1)
 	shardedRun(1, 100_000, 50_000, shards)
 
 	start := time.Now()
 	ref := mapReduceWindows(newSynthSource(2, n, nodes, 0), nv, 0)
 	baseline := time.Since(start)
+
+	start = time.Now()
+	serial := shardedRun(2, n, nv, 1)
+	fusedSerial := time.Since(start)
 
 	start = time.Now()
 	got := shardedRun(2, n, nv, shards)
@@ -357,10 +362,19 @@ func TestShardedReduceSpeedup(t *testing.T) {
 	if !bytes.Equal(renderWindows(ref), renderWindows(got)) {
 		t.Fatal("sharded reduce diverges from map baseline at benchmark scale")
 	}
+	if !bytes.Equal(renderWindows(ref), renderWindows(serial)) {
+		t.Fatal("fused serial reduce diverges from map baseline at benchmark scale")
+	}
 	speedup := baseline.Seconds() / sharded.Seconds()
-	t.Logf("10M-packet reduce: map baseline %v, sharded (%d shards) %v, speedup %.2fx",
-		baseline, shards, sharded, speedup)
+	t.Logf("10M-packet reduce: map baseline %v, fused serial %v, sharded (%d shards) %v, speedup %.2fx vs map",
+		baseline, fusedSerial, shards, sharded, speedup)
 	if speedup < 2 {
-		t.Errorf("sharded reduce speedup %.2fx < 2x on %d CPUs", speedup, cpus)
+		t.Errorf("sharded reduce speedup %.2fx < 2x over map baseline on %d CPUs", speedup, cpus)
+	}
+	// The ISSUE 6 fused-path gate: with real cores available, intra-window
+	// sharding must express as >= 2x over the fused serial pipeline —
+	// not merely over the slow map baseline.
+	if fusedSpeedup := fusedSerial.Seconds() / sharded.Seconds(); fusedSpeedup < 2 {
+		t.Errorf("sharded reduce only %.2fx over fused serial on %d CPUs, want >= 2x", fusedSpeedup, cpus)
 	}
 }

@@ -164,6 +164,113 @@ func decodeBlockRaw(raw []byte, n int, out []stream.Packet) ([]stream.Packet, er
 	return out, nil
 }
 
+// uvarintFast decodes a uvarint at raw[pos:], with inline fast paths for
+// the 1- and 2-byte encodings that dominate PTRC payloads (heavy-tailed
+// id popularity keeps hub ids small), falling back to binary.Uvarint for
+// longer or malformed encodings. It returns the value and the position
+// just past the varint; next <= pos signals a truncated or overlong
+// varint. FuzzDecodeUvarint pins it byte-for-byte equivalent to
+// binary.Uvarint.
+func uvarintFast(raw []byte, pos int) (v uint64, next int) {
+	if pos < len(raw) {
+		b0 := raw[pos]
+		if b0 < 0x80 {
+			return uint64(b0), pos + 1
+		}
+		if pos+1 < len(raw) {
+			if b1 := raw[pos+1]; b1 < 0x80 {
+				return uint64(b0&0x7f) | uint64(b1)<<7, pos + 2
+			}
+		}
+	}
+	v, k := binary.Uvarint(raw[pos:])
+	if k <= 0 {
+		return 0, pos
+	}
+	return v, pos + k
+}
+
+// decodeBatch is the stack batch size of the fused decoder: pairs are
+// deposited into the window in runs of this size so the flat tables (or
+// shard routing) work on whole batches.
+const decodeBatch = 256
+
+// encWalker is the resumable state of a fused block decode: one pass
+// over a decompressed block payload, emitting packed (src, dst) link
+// keys directly into a stream.PairWindow. A walker stops mid-block when
+// the window fills and resumes on the next call — the block is never
+// materialized as []stream.Packet.
+type encWalker struct {
+	raw []byte // decompressed block payload (bitmap + uvarint pairs)
+	n   int    // packets in the block
+	i   int    // next packet index
+	pos int    // byte position in raw (starts past the bitmap)
+}
+
+// init points the walker at a fresh block payload, validating the
+// bitmap prefix.
+func (e *encWalker) init(raw []byte, n int) error {
+	nb := (n + 7) / 8
+	if len(raw) < nb {
+		return corruptf("block payload shorter than validity bitmap")
+	}
+	e.raw, e.n, e.i, e.pos = raw, n, 0, nb
+	return nil
+}
+
+// exhausted reports whether the walker has no packets left.
+func (e *encWalker) exhausted() bool { return e.i >= e.n }
+
+// decodeInto decodes packets until the window fills or the block runs
+// out, depositing valid packets as packed link keys and counting invalid
+// ones. This is the innermost loop of the fused hot path: one uvarint
+// walk, one bitmap test, one batch deposit per packet — no intermediate
+// packet structs.
+func (e *encWalker) decodeInto(w *stream.PairWindow) (valid, invalid int64, err error) {
+	var batch [decodeBatch]uint64
+	k := 0
+	rem := w.Remaining()
+	bitmap := e.raw[:(e.n+7)/8]
+	for e.i < e.n && rem > 0 {
+		src, next := uvarintFast(e.raw, e.pos)
+		if next <= e.pos {
+			err = corruptf("truncated src varint at packet %d", e.i)
+			break
+		}
+		dst, next2 := uvarintFast(e.raw, next)
+		if next2 <= next {
+			err = corruptf("truncated dst varint at packet %d", e.i)
+			break
+		}
+		if src > uint64(^uint32(0)) || dst > uint64(^uint32(0)) {
+			err = corruptf("packet %d ID out of uint32 range", e.i)
+			break
+		}
+		ok := bitmap[e.i/8]&(1<<uint(e.i%8)) != 0
+		e.pos = next2
+		e.i++
+		if !ok {
+			invalid++
+			continue
+		}
+		batch[k] = src<<32 | dst
+		k++
+		valid++
+		rem--
+		if k == len(batch) {
+			w.AddPairs(batch[:k])
+			k = 0
+		}
+	}
+	if k > 0 {
+		w.AddPairs(batch[:k])
+	}
+	if err == nil && e.i == e.n && e.pos != len(e.raw) {
+		err = corruptf("%d trailing bytes after packet pairs", len(e.raw)-e.pos)
+	}
+	return valid, invalid, err
+}
+
 // blockHeader is the decoded fixed header following a block tag.
 type blockHeader struct {
 	packets int
@@ -224,33 +331,46 @@ type blockDecoder struct {
 	raw []byte
 }
 
-// decode verifies the compressed payload against the header CRC,
-// decompresses, and decodes the packets into out (appended).
-func (d *blockDecoder) decode(h blockHeader, comp []byte, out []stream.Packet) ([]stream.Packet, error) {
+// decompress verifies the compressed payload against the header CRC and
+// inflates it into buf (grown as needed, contents overwritten), returning
+// the raw payload. Callers that hand raw payloads across goroutines pass
+// pooled buffers; the decoder itself stays single-goroutine.
+func (d *blockDecoder) decompress(h blockHeader, comp, buf []byte) ([]byte, error) {
 	if len(comp) != h.compLen {
-		return out, corruptf("block payload truncated: %d of %d bytes", len(comp), h.compLen)
+		return nil, corruptf("block payload truncated: %d of %d bytes", len(comp), h.compLen)
 	}
 	if crc := crc32.Checksum(comp, crcTable); crc != h.crc {
-		return out, corruptf("block CRC mismatch: stored %08x, computed %08x", h.crc, crc)
+		return nil, corruptf("block CRC mismatch: stored %08x, computed %08x", h.crc, crc)
 	}
 	d.src.Reset(comp)
 	if d.fr == nil {
 		d.fr = flate.NewReader(&d.src)
 	} else if err := d.fr.(flate.Resetter).Reset(&d.src, nil); err != nil {
-		return out, err
+		return nil, err
 	}
-	if cap(d.raw) < h.rawLen {
-		d.raw = make([]byte, h.rawLen)
+	if cap(buf) < h.rawLen {
+		buf = make([]byte, h.rawLen)
 	}
-	d.raw = d.raw[:h.rawLen]
-	if _, err := io.ReadFull(d.fr, d.raw); err != nil {
-		return out, corruptf("block decompression: %v", err)
+	buf = buf[:h.rawLen]
+	if _, err := io.ReadFull(d.fr, buf); err != nil {
+		return nil, corruptf("block decompression: %v", err)
 	}
 	var extra [1]byte
 	if n, _ := d.fr.Read(extra[:]); n != 0 {
-		return out, corruptf("block decompresses past its declared raw length %d", h.rawLen)
+		return nil, corruptf("block decompresses past its declared raw length %d", h.rawLen)
 	}
-	return decodeBlockRaw(d.raw, h.packets, out)
+	return buf, nil
+}
+
+// decode verifies the compressed payload against the header CRC,
+// decompresses, and decodes the packets into out (appended).
+func (d *blockDecoder) decode(h blockHeader, comp []byte, out []stream.Packet) ([]stream.Packet, error) {
+	raw, err := d.decompress(h, comp, d.raw)
+	if err != nil {
+		return out, err
+	}
+	d.raw = raw
+	return decodeBlockRaw(raw, h.packets, out)
 }
 
 // archiveIndex is the decoded trailing index: per-block metadata plus the

@@ -1,0 +1,208 @@
+package tracestore
+
+// The fused-replay property pin: the one-pass DecodeInto path (ISSUE 6)
+// must be byte-identical to the pre-fusion decode→AddBlock→reduce path
+// at every workers × shards combination, for both readers, including
+// the KeepPartials/PartialSink products. The unfused reference is
+// obtained by wrapping a reader so the pipeline cannot see its
+// EncodedBlockSource implementation and falls back to the block path.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hybridplaw/internal/stream"
+)
+
+// unfusedSource hides a reader's EncodedBlockSource implementation so
+// stream.Run takes the decode→addPackets path: the behavioral reference
+// the fused path is pinned against.
+type unfusedSource struct {
+	src interface {
+		stream.BlockSource
+		stream.PacketCounter
+	}
+}
+
+func (u unfusedSource) Next() (stream.Packet, bool)        { return u.src.Next() }
+func (u unfusedSource) NextBlock() ([]stream.Packet, bool) { return u.src.NextBlock() }
+func (u unfusedSource) Err() error                         { return u.src.Err() }
+func (u unfusedSource) PacketsRead() int64                 { return u.src.PacketsRead() }
+
+// renderResults serializes window results into the byte form a sink
+// artifact would carry: aggregates plus every histogram's full
+// (degree, count) support, in order. Byte equality is the acceptance
+// bar for "sinks byte-identical at every workers × shards".
+func renderResults(wins []*stream.WindowResult) []byte {
+	var b bytes.Buffer
+	for _, w := range wins {
+		fmt.Fprintf(&b, "t=%d nv=%d agg=%+v\n", w.T, w.NV, w.Aggregates)
+		for _, q := range stream.Quantities {
+			h := w.Hists[q]
+			fmt.Fprintf(&b, "%v total=%d dmax=%d:", q, h.Total(), h.MaxDegree())
+			for _, d := range h.Support() {
+				fmt.Fprintf(&b, " %d=%d", d, h.Count(d))
+			}
+			b.WriteByte('\n')
+		}
+		if w.Matrix != nil {
+			fmt.Fprintf(&b, "matrix nnz=%d total=%d\n", w.Matrix.NNZ(), w.Matrix.ValidPackets())
+		}
+	}
+	return b.Bytes()
+}
+
+// TestFusedReplayEquivalence pins the fused decode→shard path against
+// the unfused decode→AddBlock→reduce path across {1,2,4} workers ×
+// {1,2,8} shards for both readers. Every configuration must yield
+// byte-identical window artifacts, identical pipeline stats, and (via
+// PartialSink) identical canonical partials.
+func TestFusedReplayEquivalence(t *testing.T) {
+	const (
+		n     = 60000
+		block = 1 << 10
+		nv    = 7000
+	)
+	ps := synthPackets(42, n, 3000, 13)
+	data := writeArchive(t, ps, WriterOptions{BlockSize: block})
+
+	type capture struct {
+		stats    stream.PipelineStats
+		rendered []byte
+		partials []stream.WindowResult
+	}
+	run := func(src stream.PacketSource, workers, shards int) capture {
+		t.Helper()
+		var col stream.ResultCollector
+		sink := &stream.PartialSink{}
+		cfg := stream.PipelineConfig{
+			NV: nv, Workers: workers, Shards: shards,
+			KeepMatrices: true, KeepPartials: true,
+		}
+		stats, err := stream.Run(src, cfg, &col, sink)
+		if err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+		}
+		if len(sink.Partials) != len(col.Results) {
+			t.Fatalf("workers=%d shards=%d: %d partials, %d windows",
+				workers, shards, len(sink.Partials), len(col.Results))
+		}
+		c := capture{stats: stats, rendered: renderResults(col.Results)}
+		for i, p := range sink.Partials {
+			if p.Total() != col.Results[i].NV {
+				t.Fatalf("window %d: partial total %d, NV %d", i, p.Total(), col.Results[i].NV)
+			}
+		}
+		for _, res := range col.Results {
+			c.partials = append(c.partials, *res)
+		}
+		return c
+	}
+
+	newSeq := func() stream.PacketSource {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	newSeqUnfused := func() stream.PacketSource {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return unfusedSource{src: r}
+	}
+	newPar := func() stream.PacketSource {
+		r, err := NewParallelReader(bytes.NewReader(data), int64(len(data)),
+			ParallelOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	ref := run(newSeqUnfused(), 1, 1)
+	if ref.stats.Windows == 0 {
+		t.Fatal("reference run produced no windows")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, shards := range []int{1, 2, 8} {
+			for name, mk := range map[string]func() stream.PacketSource{
+				"seq-fused":   newSeq,
+				"seq-unfused": newSeqUnfused,
+				"par-fused":   newPar,
+			} {
+				got := run(mk(), workers, shards)
+				if got.stats != ref.stats {
+					t.Errorf("%s workers=%d shards=%d: stats %+v, want %+v",
+						name, workers, shards, got.stats, ref.stats)
+				}
+				if !bytes.Equal(got.rendered, ref.rendered) {
+					t.Errorf("%s workers=%d shards=%d: window artifacts diverge from unfused serial reference",
+						name, workers, shards)
+				}
+				for i := range ref.partials {
+					if !reflect.DeepEqual(ref.partials[i].Partial.Entries(), got.partials[i].Partial.Entries()) {
+						t.Fatalf("%s workers=%d shards=%d window %d: partial entries diverge",
+							name, workers, shards, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeIntoDirect drives the fused sequential path through an
+// exported PairWindow directly (no pipeline), pinning the low-level
+// contract: Remaining decreases by exactly the valid packets deposited,
+// the walker resumes mid-block across window boundaries, and the
+// valid/invalid split sums to the archive totals.
+func TestDecodeIntoDirect(t *testing.T) {
+	const n = 5000
+	ps := synthPackets(7, n, 500, 5)
+	wantValid := int64(0)
+	for _, p := range ps {
+		if p.Valid {
+			wantValid++
+		}
+	}
+	data := writeArchive(t, ps, WriterOptions{BlockSize: 256})
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nv = 777 // deliberately misaligned with the block size
+	w := stream.NewPairWindow(4, nv)
+	var valid, invalid int64
+	windows := 0
+	for {
+		v, iv, full, ok := r.DecodeInto(w)
+		valid += v
+		invalid += iv
+		if full {
+			if w.Remaining() != 0 {
+				t.Fatalf("full window reports Remaining() = %d", w.Remaining())
+			}
+			windows++
+			w.Reset()
+		}
+		if !ok {
+			break
+		}
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if valid != wantValid || valid+invalid != int64(n) {
+		t.Fatalf("DecodeInto split %d/%d, want %d valid of %d", valid, invalid, wantValid, n)
+	}
+	if want := int(wantValid / nv); windows != want {
+		t.Fatalf("DecodeInto closed %d windows, want %d", windows, want)
+	}
+	if r.PacketsRead() != int64(n) {
+		t.Fatalf("PacketsRead = %d, want %d", r.PacketsRead(), n)
+	}
+}

@@ -2,6 +2,7 @@ package tracestore
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -65,6 +66,28 @@ func FuzzReader(f *testing.F) {
 			checkFuzzErr(t, r.Err())
 		}
 
+		// Sequential reader again over the fused path: DecodeInto must
+		// uphold the same no-panic/no-unbounded-allocation invariant and
+		// classify errors identically.
+		if r, err := NewReader(bytes.NewReader(data)); err == nil {
+			w := stream.NewPairWindow(2, 1<<12)
+			var n int64
+			for {
+				valid, invalid, full, ok := r.DecodeInto(w)
+				n += valid + invalid
+				if full {
+					w.Reset()
+				}
+				if !ok {
+					break
+				}
+				if n > int64(len(data))*maxDeflateRatio {
+					t.Fatalf("fused reader delivered %d packets from %d input bytes", n, len(data))
+				}
+			}
+			checkFuzzErr(t, r.Err())
+		}
+
 		// Parallel reader: footer/index path.
 		p, err := NewParallelReader(bytes.NewReader(data), int64(len(data)), ParallelOptions{Workers: 2})
 		if err != nil {
@@ -84,6 +107,45 @@ func FuzzReader(f *testing.F) {
 		}
 		checkFuzzErr(t, p.Err())
 		p.Close()
+	})
+}
+
+// FuzzDecodeUvarint is the differential fuzz of the branch-reduced
+// inline varint decoder against the standard library: at every position
+// of arbitrary input, uvarintFast must either return exactly
+// binary.Uvarint's (value, width) or signal failure (next <= pos)
+// exactly when binary.Uvarint does. The fused hot path's correctness on
+// corrupt archives reduces to this equivalence.
+func FuzzDecodeUvarint(f *testing.F) {
+	f.Add([]byte{0x00}, 0)
+	f.Add([]byte{0x7f}, 0)
+	f.Add([]byte{0x80, 0x01}, 0)                                                       // 2-byte fast path
+	f.Add([]byte{0xff, 0x7f}, 0)                                                       // 2-byte max
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x01}, 0)                                     // slow path
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, 0)       // max uint64
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, 0) // overlong
+	f.Add([]byte{0x80}, 0)                                                             // truncated
+	f.Add([]byte{}, 0)
+	f.Add(fuzzArchive(f, 100, 32), 11) // mid-archive offsets
+
+	f.Fuzz(func(t *testing.T, data []byte, pos int) {
+		if pos < 0 {
+			pos = -(pos + 1)
+		}
+		pos %= len(data) + 1 // any position in [0, len(data)]
+		v, next := uvarintFast(data, pos)
+		want, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			if next > pos {
+				t.Fatalf("pos %d: uvarintFast decoded (%d, width %d), binary.Uvarint failed (k=%d)",
+					pos, v, next-pos, k)
+			}
+			return
+		}
+		if v != want || next != pos+k {
+			t.Fatalf("pos %d: uvarintFast = (%d, next %d), binary.Uvarint = (%d, next %d)",
+				pos, v, next, want, pos+k)
+		}
 	})
 }
 

@@ -18,35 +18,46 @@ type ParallelOptions struct {
 	Prefetch int
 }
 
-// ParallelReader replays a PTRC archive with block decodes fanned out to
-// a worker pool, so decompression overlaps the pipeline's ingest and
-// window reduction. It requires a seekable archive (io.ReaderAt plus its
-// size): the trailing index supplies every block's offset, workers fetch
-// and decode blocks independently, and a coordinator re-orders completed
-// blocks so Next delivers the exact archived packet sequence. Decoded
-// blocks are double-buffered ahead of the consumer; memory is
+// ParallelReader replays a PTRC archive with block fetch, CRC check and
+// decompression fanned out to a worker pool, so the expensive DEFLATE
+// work overlaps the pipeline's ingest and window reduction. It requires
+// a seekable archive (io.ReaderAt plus its size): the trailing index
+// supplies every block's offset, workers fetch and inflate blocks
+// independently into pooled raw buffers, and a coordinator re-orders
+// completed blocks so the consumer observes the exact archived sequence.
+// The cheap final stage — uvarint decode — runs on the consumer's
+// goroutine, either into one persistent packet buffer (Next/NextBlock)
+// or fused straight into the window under construction (DecodeInto), so
+// steady-state replay allocates nothing per block. Memory is
 // O(Workers + Prefetch) blocks regardless of archive length.
 //
-// ParallelReader implements stream.PacketSource. Callers that abandon
-// the source early (pipeline MaxWindows bounds, errors) should Close it
-// to release the worker pool; draining it to exhaustion also releases.
+// ParallelReader implements stream.PacketSource, stream.BlockSource and
+// stream.EncodedBlockSource. Callers that abandon the source early
+// (pipeline MaxWindows bounds, errors) should Close it to release the
+// worker pool; draining it to exhaustion also releases.
 type ParallelReader struct {
 	idx     *archiveIndex
 	ordered chan parallelBlock
-	pool    chan []stream.Packet
+	rawPool chan []byte
 	stop    chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
 
 	buf  []stream.Packet
 	i    int
+	walk encWalker
+	wraw []byte // raw buffer behind walk, recycled when exhausted
 	read int64
 	err  error
 	done bool
 }
 
+// parallelBlock is one decompressed block in flight from the worker pool
+// to the consumer: the raw payload (bitmap + uvarint pairs) and its
+// packet count, not yet decoded.
 type parallelBlock struct {
-	packets []stream.Packet
+	raw     []byte
+	packets int
 	err     error
 }
 
@@ -71,7 +82,7 @@ func NewParallelReader(r io.ReaderAt, size int64, opts ParallelOptions) (*Parall
 	p := &ParallelReader{
 		idx:     idx,
 		ordered: make(chan parallelBlock, prefetch),
-		pool:    make(chan []stream.Packet, workers+prefetch+1),
+		rawPool: make(chan []byte, workers+prefetch+1),
 		stop:    make(chan struct{}),
 	}
 	if len(idx.blocks) == 0 {
@@ -114,9 +125,11 @@ func NewParallelReader(r io.ReaderAt, size int64, opts ParallelOptions) (*Parall
 		}
 	}()
 
-	// Workers: fetch + CRC-check + decompress + decode one block at a
-	// time, each with its own decoder state and ReadAt (safe for
-	// concurrent use by contract).
+	// Workers: fetch + CRC-check + decompress one block at a time, each
+	// with its own decoder state and ReadAt (safe for concurrent use by
+	// contract). Raw output buffers come from the shared pool, so a
+	// steady-state replay recycles the same workers+prefetch+1 buffers
+	// instead of allocating per block.
 	var workerWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		workerWG.Add(1)
@@ -143,7 +156,8 @@ func NewParallelReader(r io.ReaderAt, size int64, opts ParallelOptions) (*Parall
 				} else if h.packets != bl.packets || h.compLen != bl.compLen {
 					out.err = corruptf("block %d header disagrees with index", i)
 				} else {
-					out.packets, out.err = dec.decode(h, rec[1+blockHeaderLen:], p.takeBuf())
+					out.raw, out.err = dec.decompress(h, rec[1+blockHeaderLen:], p.takeRaw())
+					out.packets = h.packets
 				}
 				select {
 				case results <- outcome{i: i, block: out}:
@@ -191,44 +205,70 @@ func NewParallelReader(r io.ReaderAt, size int64, opts ParallelOptions) (*Parall
 	return p, nil
 }
 
-// takeBuf recycles a packet buffer from the pool if one is available.
-func (p *ParallelReader) takeBuf() []stream.Packet {
+// takeRaw recycles a raw payload buffer from the pool if one is
+// available.
+func (p *ParallelReader) takeRaw() []byte {
 	select {
-	case b := <-p.pool:
-		return b[:0]
+	case b := <-p.rawPool:
+		return b
 	default:
 		return nil
 	}
 }
 
-// fill ensures the current block has unconsumed packets, pulling the
-// next decoded block in order as needed; false means end of stream,
-// error, or Close.
+// putRaw returns a raw payload buffer to the pool.
+func (p *ParallelReader) putRaw(b []byte) {
+	if b == nil {
+		return
+	}
+	select {
+	case p.rawPool <- b:
+	default:
+	}
+}
+
+// nextOrdered pulls the next decompressed block in archive order; false
+// means end of stream (finish run), error, or Close.
+func (p *ParallelReader) nextOrdered() (parallelBlock, bool) {
+	b, ok := <-p.ordered
+	if !ok {
+		p.done = true
+		p.finish()
+		return parallelBlock{}, false
+	}
+	if b.err != nil {
+		p.done = true
+		p.err = b.err
+		p.Close()
+		return parallelBlock{}, false
+	}
+	return b, true
+}
+
+// fill ensures the current block has unconsumed packets, decoding the
+// next raw block in order as needed; false means end of stream, error,
+// or Close. The decode target is one persistent buffer reused for every
+// block.
 func (p *ParallelReader) fill() bool {
 	if p.done {
 		return false
 	}
 	for p.i >= len(p.buf) {
-		if p.buf != nil {
-			select {
-			case p.pool <- p.buf:
-			default:
-			}
-			p.buf = nil
-		}
-		b, ok := <-p.ordered
+		b, ok := p.nextOrdered()
 		if !ok {
-			p.done = true
-			p.finish()
 			return false
 		}
-		if b.err != nil {
+		var err error
+		p.buf, err = decodeBlockRaw(b.raw, b.packets, p.buf[:0])
+		p.putRaw(b.raw)
+		if err != nil {
 			p.done = true
-			p.err = b.err
+			p.err = err
+			p.buf = p.buf[:0]
 			p.Close()
 			return false
 		}
-		p.buf, p.i = b.packets, 0
+		p.i = 0
 	}
 	return true
 }
@@ -255,6 +295,46 @@ func (p *ParallelReader) NextBlock() ([]stream.Packet, bool) {
 	p.i = len(p.buf)
 	p.read += int64(len(blk))
 	return blk, true
+}
+
+// DecodeInto implements stream.EncodedBlockSource: it takes the next
+// decompressed block from the worker pool (or resumes the current one)
+// and decodes its uvarint pairs directly into w — the fused replay path.
+// DecodeInto must not be interleaved with Next or NextBlock on the same
+// reader: both paths consume the same ordered block sequence but buffer
+// independently.
+func (p *ParallelReader) DecodeInto(w *stream.PairWindow) (valid, invalid int64, full, ok bool) {
+	if p.walk.exhausted() {
+		if p.done {
+			return 0, 0, false, false
+		}
+		b, okb := p.nextOrdered()
+		if !okb {
+			return 0, 0, false, false
+		}
+		if err := p.walk.init(b.raw, b.packets); err != nil {
+			p.done = true
+			p.err = err
+			p.putRaw(b.raw)
+			p.Close()
+			return 0, 0, false, false
+		}
+		p.wraw = b.raw
+	}
+	var err error
+	valid, invalid, err = p.walk.decodeInto(w)
+	p.read += valid + invalid
+	if err != nil {
+		p.done = true
+		p.err = err
+		p.Close()
+		return valid, invalid, false, false
+	}
+	if p.walk.exhausted() {
+		p.putRaw(p.wraw)
+		p.wraw = nil
+	}
+	return valid, invalid, w.Remaining() == 0, true
 }
 
 // finish runs when the ordered stream drains cleanly: verify the packet

@@ -21,6 +21,7 @@ type Reader struct {
 	hdr    [1 + blockHeaderLen]byte
 	comp   []byte
 	buf    []stream.Packet
+	walk   encWalker
 	i      int
 	off    int64 // bytes consumed from r
 	read   int64
@@ -94,9 +95,10 @@ func (r *Reader) NextBlock() ([]stream.Packet, bool) {
 	return blk, true
 }
 
-// nextBlock reads the next record: a block refills the packet buffer; the
-// index record ends the stream after verifying the totals and footer.
-func (r *Reader) nextBlock() {
+// readRecord reads the next record's tag, header and compressed payload
+// (into r.comp). ok = false at end of stream — the index record was
+// consumed and verified by finish — or on error (r.err set).
+func (r *Reader) readRecord() (blockHeader, bool) {
 	tagOff := r.off
 	if err := r.readFull(r.hdr[:1]); err != nil {
 		if err == io.EOF {
@@ -104,18 +106,18 @@ func (r *Reader) nextBlock() {
 		} else {
 			r.err = err
 		}
-		return
+		return blockHeader{}, false
 	}
 	switch r.hdr[0] {
 	case tagBlock:
 		if err := r.readFull(r.hdr[1:]); err != nil {
 			r.err = corruptf("truncated block header: %v", err)
-			return
+			return blockHeader{}, false
 		}
 		h, err := parseBlockHeader(r.hdr[1:])
 		if err != nil {
 			r.err = err
-			return
+			return blockHeader{}, false
 		}
 		if cap(r.comp) < h.compLen {
 			r.comp = make([]byte, h.compLen)
@@ -123,21 +125,68 @@ func (r *Reader) nextBlock() {
 		r.comp = r.comp[:h.compLen]
 		if err := r.readFull(r.comp); err != nil {
 			r.err = corruptf("truncated block payload: %v", err)
-			return
+			return blockHeader{}, false
 		}
-		r.buf, err = r.dec.decode(h, r.comp, r.buf[:0])
-		if err != nil {
-			r.err = err
-			r.buf = r.buf[:0]
-			return
-		}
-		r.i = 0
 		r.blocks++
+		return h, true
 	case tagIndex:
 		r.finish(tagOff)
+		return blockHeader{}, false
 	default:
 		r.err = corruptf("unknown record tag 0x%02x after %d blocks", r.hdr[0], r.blocks)
+		return blockHeader{}, false
 	}
+}
+
+// nextBlock reads the next record: a block refills the packet buffer; the
+// index record ends the stream after verifying the totals and footer.
+func (r *Reader) nextBlock() {
+	h, ok := r.readRecord()
+	if !ok {
+		return
+	}
+	var err error
+	r.buf, err = r.dec.decode(h, r.comp, r.buf[:0])
+	if err != nil {
+		r.err = err
+		r.buf = r.buf[:0]
+		return
+	}
+	r.i = 0
+}
+
+// DecodeInto implements stream.EncodedBlockSource: it decompresses the
+// next block (or resumes the current one) and decodes its uvarint pairs
+// directly into w — the fused one-pass replay path, no []stream.Packet
+// materialization. DecodeInto must not be interleaved with Next or
+// NextBlock on the same Reader: both paths consume the same underlying
+// record sequence but buffer independently.
+func (r *Reader) DecodeInto(w *stream.PairWindow) (valid, invalid int64, full, ok bool) {
+	if r.walk.exhausted() {
+		h, okr := r.readRecord()
+		if !okr {
+			return 0, 0, false, false
+		}
+		raw, err := r.dec.decompress(h, r.comp, r.dec.raw)
+		if err != nil {
+			r.err = err
+			return 0, 0, false, false
+		}
+		r.dec.raw = raw
+		if err := r.walk.init(raw, h.packets); err != nil {
+			r.err = err
+			return 0, 0, false, false
+		}
+	}
+	var err error
+	valid, invalid, err = r.walk.decodeInto(w)
+	r.read += valid + invalid
+	r.valid += valid
+	if err != nil {
+		r.err = err
+		return valid, invalid, false, false
+	}
+	return valid, invalid, w.Remaining() == 0, true
 }
 
 // finish consumes the index record and footer and verifies both against
