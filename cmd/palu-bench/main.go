@@ -2,15 +2,19 @@
 // streaming window reduce (a worker × shard matrix plus the legacy
 // serial/sharded pins), PTRC archive replay (sequential and parallel
 // decode), and model fitting — and writes a machine-readable JSON
-// record. BENCH_PR6.json at the repo root is the committed perf
+// record. BENCH_PR7.json at the repo root is the committed perf
 // trajectory; CI re-runs the suite and compares against it
-// benchstat-style.
+// benchstat-style. The suite runs instrumented (internal/obs) and v3
+// records embed the resulting metrics snapshot, so every committed
+// record also documents the workload's exact block/window/packet
+// accounting.
 //
 // Usage:
 //
-//	palu-bench -out BENCH_PR6.json                    # run + record
-//	palu-bench -out /tmp/b.json -compare BENCH_PR6.json -max-regression 5
+//	palu-bench -out BENCH_PR7.json                    # run + record
+//	palu-bench -out /tmp/b.json -compare BENCH_PR7.json -max-regression 5
 //	palu-bench -packets 500000 -replay-packets 200000 # smaller workloads
+//	palu-bench -metrics - -cpuprofile cpu.pb.gz       # snapshot + profile
 //
 // With -compare, per-benchmark ratios are printed and the exit status is
 // non-zero when any pinned benchmark regressed beyond -max-regression (a
@@ -32,6 +36,7 @@ import (
 	"time"
 
 	"hybridplaw/internal/model"
+	"hybridplaw/internal/obs"
 	"hybridplaw/internal/palu"
 	"hybridplaw/internal/stream"
 	"hybridplaw/internal/tracestore"
@@ -39,12 +44,16 @@ import (
 	"hybridplaw/internal/zipfmand"
 )
 
-// Record is the JSON schema of a palu-bench run.
+// Record is the JSON schema of a palu-bench run. Metrics (v3+) is the
+// obs snapshot of the instrumented suite: the deterministic counters
+// (packets, windows, blocks, bytes) double-check that a compared record
+// really ran the same workload.
 type Record struct {
-	Schema  string  `json:"schema"`
-	Go      string  `json:"go"`
-	CPUs    int     `json:"cpus"`
-	Results []Bench `json:"benchmarks"`
+	Schema  string        `json:"schema"`
+	Go      string        `json:"go"`
+	CPUs    int           `json:"cpus"`
+	Results []Bench       `json:"benchmarks"`
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Bench is one pinned benchmark's measurement. CPUs is recorded per
@@ -65,7 +74,8 @@ type Bench struct {
 
 const (
 	schemaV1 = "palu-bench-v1" // pre-matrix records: no per-entry CPUs
-	schemaV2 = "palu-bench-v2"
+	schemaV2 = "palu-bench-v2" // pre-obs records: no metrics snapshot
+	schemaV3 = "palu-bench-v3"
 )
 
 // matrixWorkers × matrixShards is the pipeline benchmark grid. The
@@ -142,11 +152,22 @@ type suiteConfig struct {
 	fitN          int   // observed-histogram sample size for the fit benchmarks
 	minTime       time.Duration
 	maxIters      int
+	obs           *obs.Registry // suite instrumentation registry (nil = fresh)
 }
 
-// runSuite executes every pinned benchmark and returns the record.
+// runSuite executes every pinned benchmark, instrumented, and returns
+// the record with the metrics snapshot embedded. Instrumentation stays
+// on for the measured runs on purpose: the committed record then prices
+// the hot path as shipped (the overhead gate in the root test suite
+// separately bounds the instrumented/stripped ratio).
 func runSuite(cfg suiteConfig) (Record, error) {
-	rec := Record{Schema: schemaV2, Go: runtime.Version(), CPUs: runtime.NumCPU()}
+	rec := Record{Schema: schemaV3, Go: runtime.Version(), CPUs: runtime.NumCPU()}
+	obsReg := cfg.obs
+	if obsReg == nil {
+		obsReg = obs.NewRegistry()
+	}
+	sm := stream.NewMetrics(obsReg)
+	tm := tracestore.NewMetrics(obsReg)
 	nv := cfg.packets / 8
 	if nv < 1 {
 		nv = 1
@@ -160,7 +181,7 @@ func runSuite(cfg suiteConfig) (Record, error) {
 	pipeline := func(workers, shards int) func() error {
 		return func() error {
 			src := newSynthTrace(2, cfg.packets, nodes)
-			_, err := stream.Run(src, stream.PipelineConfig{NV: nv, Workers: workers, Shards: shards})
+			_, err := stream.Run(src, stream.PipelineConfig{NV: nv, Workers: workers, Shards: shards, Metrics: sm})
 			return err
 		}
 	}
@@ -208,7 +229,7 @@ func runSuite(cfg suiteConfig) (Record, error) {
 	// PTRC replay: one in-memory archive, replayed through the pipeline.
 	var archive bytes.Buffer
 	if _, err := tracestore.Record(&archive,
-		newSynthTrace(3, cfg.replayPackets, nodes), tracestore.WriterOptions{}); err != nil {
+		newSynthTrace(3, cfg.replayPackets, nodes), tracestore.WriterOptions{Metrics: tm}); err != nil {
 		return rec, err
 	}
 	raw := archive.Bytes()
@@ -221,7 +242,8 @@ func runSuite(cfg suiteConfig) (Record, error) {
 		if err != nil {
 			return err
 		}
-		_, err = stream.Run(src, stream.PipelineConfig{NV: replayNV, Workers: 1})
+		src.SetMetrics(tm)
+		_, err = stream.Run(src, stream.PipelineConfig{NV: replayNV, Workers: 1, Metrics: sm})
 		return err
 	})
 	b.MBPerS = float64(len(raw)) / (b.NsPerOp / 1e9) / 1e6
@@ -230,12 +252,12 @@ func runSuite(cfg suiteConfig) (Record, error) {
 	}
 	b, err = measure("ptrc-replay-parallel", cfg.minTime, cfg.maxIters, func() error {
 		src, err := tracestore.NewParallelReader(bytes.NewReader(raw), int64(len(raw)),
-			tracestore.ParallelOptions{})
+			tracestore.ParallelOptions{Metrics: tm})
 		if err != nil {
 			return err
 		}
 		defer src.Close()
-		_, err = stream.Run(src, stream.PipelineConfig{NV: replayNV})
+		_, err = stream.Run(src, stream.PipelineConfig{NV: replayNV, Metrics: sm})
 		return err
 	})
 	b.MBPerS = float64(len(raw)) / (b.NsPerOp / 1e9) / 1e6
@@ -276,6 +298,8 @@ func runSuite(cfg suiteConfig) (Record, error) {
 	})); err != nil {
 		return rec, err
 	}
+	snap := obsReg.Snapshot()
+	rec.Metrics = &snap
 	return rec, nil
 }
 
@@ -353,7 +377,7 @@ func readRecord(path string) (Record, error) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return Record{}, fmt.Errorf("%s: %w", path, err)
 	}
-	if rec.Schema != schemaV1 && rec.Schema != schemaV2 {
+	if rec.Schema != schemaV1 && rec.Schema != schemaV2 && rec.Schema != schemaV3 {
 		return Record{}, fmt.Errorf("%s: unknown schema %q", path, rec.Schema)
 	}
 	return rec, nil
@@ -362,7 +386,7 @@ func readRecord(path string) (Record, error) {
 func run(args []string, logger *log.Logger) error {
 	fs := flag.NewFlagSet("palu-bench", flag.ContinueOnError)
 	var (
-		out           = fs.String("out", "BENCH_PR6.json", "output JSON path")
+		out           = fs.String("out", "BENCH_PR7.json", "output JSON path")
 		comparePath   = fs.String("compare", "", "baseline JSON to compare against (benchstat-style ratios)")
 		maxRegression = fs.Float64("max-regression", 0, "fail when any same-hardware ns/op or any allocs/op ratio vs the baseline exceeds this factor (0 = report only)")
 		packets       = fs.Int64("packets", 2_000_000, "pipeline benchmark trace length in packets")
@@ -370,16 +394,28 @@ func run(args []string, logger *log.Logger) error {
 		fitN          = fs.Int("fit-n", 300_000, "observed-histogram sample size for the fit benchmarks")
 		minTime       = fs.Duration("min-time", time.Second, "minimum accumulated run time per benchmark")
 		maxIters      = fs.Int("max-iters", 5, "maximum iterations per benchmark")
+		metrics       = fs.String("metrics", "", "also write the suite's metrics snapshot (JSON) here (- = stdout)")
+		cpuprofile    = fs.String("cpuprofile", "", "write a CPU profile of the suite here")
+		memprofile    = fs.String("memprofile", "", "write a heap profile here at clean exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	obsReg := obs.NewRegistry()
 	rec, err := runSuite(suiteConfig{
 		packets:       *packets,
 		replayPackets: *replayPackets,
 		fitN:          *fitN,
 		minTime:       *minTime,
 		maxIters:      *maxIters,
+		obs:           obsReg,
 	})
 	if err != nil {
 		return err
@@ -400,6 +436,11 @@ func run(args []string, logger *log.Logger) error {
 		}
 		logger.Printf("wrote %s", *out)
 	}
+	if *metrics != "" {
+		if err := obs.DumpJSON(obsReg, *metrics); err != nil {
+			return err
+		}
+	}
 	if *comparePath != "" {
 		base, err := readRecord(*comparePath)
 		if err != nil {
@@ -407,6 +448,11 @@ func run(args []string, logger *log.Logger) error {
 		}
 		if failed := compare(logger, base, rec, *maxRegression); len(failed) > 0 {
 			return fmt.Errorf("benchmarks regressed beyond the gate: %v", failed)
+		}
+	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -30,6 +30,22 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if rec.Schema != schemaV3 {
+		t.Errorf("schema = %q, want %q", rec.Schema, schemaV3)
+	}
+	// v3 embeds the instrumented suite's snapshot; the deterministic
+	// counters must show the workload actually ran.
+	if rec.Metrics == nil {
+		t.Fatal("v3 record has no metrics snapshot")
+	}
+	for _, name := range []string{
+		"palu_stream_windows_total", "palu_ptrc_blocks_read_total", "palu_ptrc_blocks_written_total",
+	} {
+		m, ok := rec.Metrics.Get(name)
+		if !ok || m.Value == 0 {
+			t.Errorf("snapshot metric %s missing or zero: %+v", name, m)
+		}
+	}
 	want := []string{
 		"pipeline-reduce-serial", "pipeline-reduce-sharded",
 		"pipeline-w1-s1", "pipeline-w1-s4", "pipeline-w1-s8",

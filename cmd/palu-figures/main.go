@@ -1,7 +1,8 @@
 // Command palu-figures regenerates every table and figure of the paper
 // through the declarative scenario engine: CSV series plus ASCII
-// renderings into an output directory, and a summary.txt recording
-// paper-vs-measured values (the data behind EXPERIMENTS.md).
+// renderings into an output directory, a summary.txt recording
+// paper-vs-measured values (the data behind EXPERIMENTS.md), and a
+// timings.csv with per-scenario wall times and cache traffic.
 //
 // Usage:
 //
@@ -10,6 +11,8 @@
 //	palu-figures -out ./out -cache-dir ./ptrc  # record windows once, replay thereafter
 //	palu-figures -only fig3 -only table1       # subsets by name or prefix
 //	palu-figures -list                         # print the experiment index (EXPERIMENTS.md)
+//	palu-figures -metrics - -http :6060        # metrics snapshot + live /metrics + pprof
+//	palu-figures -cpuprofile cpu.pb.gz         # profile the suite run
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"strings"
 
 	"hybridplaw/internal/experiments"
+	"hybridplaw/internal/obs"
 	"hybridplaw/internal/scenario"
 )
 
@@ -39,45 +43,91 @@ func (f *onlyFlags) Set(v string) error {
 	return nil
 }
 
+// options carries the parsed flag set into run.
+type options struct {
+	out        string
+	seed       uint64
+	parallel   bool
+	shards     int
+	cacheDir   string
+	list       bool
+	only       onlyFlags
+	metrics    string // snapshot path, "-" = stdout, "" = off
+	httpAddr   string // live /metrics + /debug/pprof address, "" = off
+	cpuprofile string
+	memprofile string
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("palu-figures: ")
-	var only onlyFlags
-	var (
-		out      = flag.String("out", "out", "output directory")
-		seed     = flag.Uint64("seed", 1, "random seed for the suite-seeded experiments")
-		parallel = flag.Bool("parallel", false, "run independent scenarios concurrently (one worker per CPU)")
-		shards   = flag.Int("shards", 0, "intra-window parallel-reduce width of the streaming pipeline (0 = serial reduce per window; results are identical at any value)")
-		cacheDir = flag.String("cache-dir", "", "PTRC window cache directory: traffic windows are recorded once and replayed thereafter")
-		list     = flag.Bool("list", false, "print the experiment index (the content of EXPERIMENTS.md) and exit")
-	)
-	flag.Var(&only, "only", "restrict to scenarios matching a name or prefix (repeatable, comma-separable; e.g. fig3, fig3/tokyo2015-source-packets)")
+	var o options
+	flag.StringVar(&o.out, "out", "out", "output directory")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed for the suite-seeded experiments")
+	flag.BoolVar(&o.parallel, "parallel", false, "run independent scenarios concurrently (one worker per CPU)")
+	flag.IntVar(&o.shards, "shards", 0, "intra-window parallel-reduce width of the streaming pipeline (0 = serial reduce per window; results are identical at any value)")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "PTRC window cache directory: traffic windows are recorded once and replayed thereafter")
+	flag.BoolVar(&o.list, "list", false, "print the experiment index (the content of EXPERIMENTS.md) and exit")
+	flag.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot (JSON) here after the run (- = stdout)")
+	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics and /debug/pprof on this address for the run's duration")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run here")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile here at clean exit")
+	flag.Var(&o.only, "only", "restrict to scenarios matching a name or prefix (repeatable, comma-separable; e.g. fig3, fig3/tokyo2015-source-packets)")
 	flag.Parse()
-
-	reg := experiments.MustRegistry(*seed)
-	if *list {
-		fmt.Print(scenario.ListMarkdown(reg))
-		return
-	}
-	selection, err := reg.Select(only...)
-	if err != nil {
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(o options) error {
+	reg := experiments.MustRegistry(o.seed)
+	if o.list {
+		fmt.Print(scenario.ListMarkdown(reg))
+		return nil
+	}
+	selection, err := reg.Select(o.only...)
+	if err != nil {
+		return err
+	}
+
+	// One registry covers the whole stack — scheduler, pipelines, PTRC
+	// codecs — when any observability surface is requested.
+	var obsReg *obs.Registry
+	if o.metrics != "" || o.httpAddr != "" {
+		obsReg = obs.NewRegistry()
+	}
+	if o.httpAddr != "" {
+		addr, stop, err := obs.StartDebugServer(o.httpAddr, obsReg)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		log.Printf("serving /metrics and /debug/pprof on %s", addr)
+	}
+	if o.cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(o.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
 	workers := 1
-	if *parallel {
+	if o.parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	eng, err := scenario.NewEngine(reg, scenario.Config{
 		Workers:        workers,
-		OutDir:         *out,
-		CacheDir:       *cacheDir,
-		PipelineShards: *shards,
+		OutDir:         o.out,
+		CacheDir:       o.cacheDir,
+		PipelineShards: o.shards,
+		Metrics:        obsReg,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+	if err := os.MkdirAll(o.out, 0o755); err != nil {
+		return err
 	}
 
 	reports, runErr := eng.Run(selection...)
@@ -89,18 +139,31 @@ func main() {
 		log.Printf("%-36s %8.2fs  %s", r.Scenario.Name, r.Duration.Seconds(), status)
 	}
 	summary := scenario.Summarize(reports)
-	path := filepath.Join(*out, "summary.txt")
-	if err := os.WriteFile(path, []byte(summary), 0o644); err != nil {
-		log.Fatal(err)
+	if err := os.WriteFile(filepath.Join(o.out, "summary.txt"), []byte(summary), 0o644); err != nil {
+		return err
+	}
+	// timings.csv: deterministic shape (rows and counters), measured
+	// seconds — excluded from byte-equality diffs between runs.
+	timings := scenario.Timings(reports, eng.CacheStats())
+	if err := os.WriteFile(filepath.Join(o.out, "timings.csv"), []byte(timings), 0o644); err != nil {
+		return err
 	}
 	fmt.Print(summary)
-	if *cacheDir != "" {
+	if o.cacheDir != "" {
 		cs := eng.CacheStats()
 		log.Printf("window cache: %d hits, %d misses, %d packets recorded, %d replayed",
 			cs.Hits, cs.Misses, cs.RecordedPackets, cs.ReplayedPackets)
 	}
-	fmt.Printf("\nartifacts written to %s\n", *out)
-	if runErr != nil {
-		log.Fatal(runErr)
+	fmt.Printf("\nartifacts written to %s\n", o.out)
+	if obsReg != nil && o.metrics != "" {
+		if err := obs.DumpJSON(obsReg, o.metrics); err != nil {
+			return err
+		}
 	}
+	if o.memprofile != "" {
+		if err := obs.WriteHeapProfile(o.memprofile); err != nil {
+			return err
+		}
+	}
+	return runErr
 }

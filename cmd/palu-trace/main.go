@@ -29,9 +29,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"text/tabwriter"
 
 	"hybridplaw/internal/hist"
 	"hybridplaw/internal/netgen"
+	"hybridplaw/internal/obs"
 	"hybridplaw/internal/palu"
 	"hybridplaw/internal/stream"
 	"hybridplaw/internal/tracestore"
@@ -219,10 +221,21 @@ func cmdConvert(args []string) error {
 
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	in := fs.String("in", "", "PTRC archive (required)")
+	var (
+		in      = fs.String("in", "", "PTRC archive (required)")
+		verbose = fs.Bool("verbose", false, "append a per-block table (from the index, no block decodes)")
+	)
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("info: -in is required")
+	}
+	if *verbose {
+		info, blocks, err := tracestore.InfoFileBlocks(*in)
+		if err != nil {
+			return err
+		}
+		fmt.Print(formatInfoBlocks(*in, info, blocks))
+		return nil
 	}
 	info, err := tracestore.InfoFile(*in)
 	if err != nil {
@@ -235,19 +248,44 @@ func cmdInfo(args []string) error {
 // formatInfo renders an archive summary (separate from cmdInfo for the
 // tests).
 func formatInfo(path string, info tracestore.ArchiveInfo) string {
+	return formatInfoBlocks(path, info, nil)
+}
+
+// formatInfoBlocks renders the summary and, when blocks is non-nil, the
+// per-block table. The whole report goes through one tabwriter so the
+// summary labels and the table columns align consistently regardless of
+// the archive's magnitudes (the old hand-padded fields drifted once a
+// count outgrew its column).
+func formatInfoBlocks(path string, info tracestore.ArchiveInfo, blocks []tracestore.BlockStat) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: PTRC archive, %d bytes\n", path, info.FileSize)
-	fmt.Fprintf(&b, "  blocks:       %d\n", info.Blocks)
-	fmt.Fprintf(&b, "  packets:      %d (%d valid, %d invalid)\n",
+	tw := tabwriter.NewWriter(&b, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "  blocks:\t%d\t\n", info.Blocks)
+	fmt.Fprintf(tw, "  packets:\t%d (%d valid, %d invalid)\t\n",
 		info.Packets, info.ValidPackets, info.Packets-info.ValidPackets)
 	if info.Packets > 0 {
-		fmt.Fprintf(&b, "  bytes/packet: %.2f\n", float64(info.FileSize)/float64(info.Packets))
+		fmt.Fprintf(tw, "  bytes/packet:\t%.2f\t\n", float64(info.FileSize)/float64(info.Packets))
 	}
 	if info.RawBytes > 0 {
-		fmt.Fprintf(&b, "  compression:  %d -> %d payload bytes (%.1f%%)\n",
+		fmt.Fprintf(tw, "  compression:\t%d -> %d payload bytes (%.1f%%)\t\n",
 			info.RawBytes, info.CompressedBytes,
 			100*float64(info.CompressedBytes)/float64(info.RawBytes))
 	}
+	if blocks != nil {
+		// A tab-free line ends the summary's column block, so the table
+		// below aligns on its own widths.
+		fmt.Fprintln(tw)
+		fmt.Fprintf(tw, "  block\tpackets\tvalid\traw\tcompressed\tratio\t\n")
+		for i, bs := range blocks {
+			ratio := 0.0
+			if bs.RawBytes > 0 {
+				ratio = 100 * float64(bs.CompressedBytes) / float64(bs.RawBytes)
+			}
+			fmt.Fprintf(tw, "  %d\t%d\t%d\t%d\t%d\t%.1f%%\t\n",
+				i, bs.Packets, bs.Valid, bs.RawBytes, bs.CompressedBytes, ratio)
+		}
+	}
+	tw.Flush()
 	return b.String()
 }
 
@@ -289,11 +327,11 @@ func cmdCache(args []string) error {
 
 // replayEnsemble streams a PacketSource through the measurement pipeline
 // and returns the pooled ensemble of q. windows <= 0 replays the whole
-// source.
-func replayEnsemble(src stream.PacketSource, nv int64, windows, workers int, q stream.Quantity) (*stream.EnsembleSink, stream.PipelineStats, error) {
+// source; m (nil = uninstrumented) collects the pipeline's metrics.
+func replayEnsemble(src stream.PacketSource, nv int64, windows, workers int, q stream.Quantity, m *stream.Metrics) (*stream.EnsembleSink, stream.PipelineStats, error) {
 	sink := stream.NewEnsembleSink(q)
 	stats, err := stream.Run(src, stream.PipelineConfig{
-		NV: nv, Workers: workers, MaxWindows: windows,
+		NV: nv, Workers: workers, MaxWindows: windows, Metrics: m,
 	}, sink)
 	if err != nil {
 		return nil, stats, err
@@ -313,6 +351,7 @@ func cmdReplay(args []string) error {
 		workers  = fs.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS)")
 		decoders = fs.Int("decoders", 0, "PTRC decode pool size (0 = GOMAXPROCS)")
 		quantity = fs.String("quantity", "fan-out", "quantity: source-packets|fan-out|link-packets|fan-in|dest-packets")
+		metrics  = fs.String("metrics", "", "write a metrics snapshot (JSON) here after the replay (- = stdout)")
 	)
 	fs.Parse(args)
 	if *in == "" {
@@ -321,6 +360,16 @@ func cmdReplay(args []string) error {
 	q, ok := quantityByName[*quantity]
 	if !ok {
 		return fmt.Errorf("replay: unknown quantity %q", *quantity)
+	}
+	var (
+		obsReg *obs.Registry
+		sm     *stream.Metrics
+		tm     *tracestore.Metrics
+	)
+	if *metrics != "" {
+		obsReg = obs.NewRegistry()
+		sm = stream.NewMetrics(obsReg)
+		tm = tracestore.NewMetrics(obsReg)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -332,13 +381,13 @@ func cmdReplay(args []string) error {
 		return err
 	}
 	src, err := tracestore.NewParallelReader(f, st.Size(),
-		tracestore.ParallelOptions{Workers: *decoders})
+		tracestore.ParallelOptions{Workers: *decoders, Metrics: tm})
 	if err != nil {
 		return err
 	}
 	defer src.Close()
 
-	sink, stats, err := replayEnsemble(src, *nv, *windows, *workers, q)
+	sink, stats, err := replayEnsemble(src, *nv, *windows, *workers, q, sm)
 	if err != nil {
 		return err
 	}
@@ -358,5 +407,10 @@ func cmdReplay(args []string) error {
 	}
 	fmt.Printf("\nmodified Zipf-Mandelbrot fit: alpha=%.3f delta=%.3f (SSE=%.4g)\n",
 		fit.Alpha, fit.Delta, fit.SSE)
+	if obsReg != nil {
+		if err := obs.DumpJSON(obsReg, *metrics); err != nil {
+			return err
+		}
+	}
 	return nil
 }

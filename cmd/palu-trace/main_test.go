@@ -59,7 +59,7 @@ func TestRecordReplayMatchesDirectGeneration(t *testing.T) {
 	// pipeline, no archive involved.
 	for _, q := range stream.Quantities {
 		direct, directStats, err := replayEnsemble(testSite(t).PacketSource(),
-			testNV, testWindows, 2, q)
+			testNV, testWindows, 2, q, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +70,7 @@ func TestRecordReplayMatchesDirectGeneration(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		replayed, replayStats, err := replayEnsemble(src, testNV, testWindows, 2, q)
+		replayed, replayStats, err := replayEnsemble(src, testNV, testWindows, 2, q, nil)
 		src.Close()
 		if err != nil {
 			t.Fatal(err)
@@ -148,5 +148,30 @@ func TestFormatInfo(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("info output missing %q:\n%s", want, out)
 		}
+	}
+	if strings.Contains(out, "block\t") || strings.Contains(out, "  block ") {
+		t.Errorf("non-verbose info should not carry the block table:\n%s", out)
+	}
+}
+
+// TestFormatInfoBlocks pins the -verbose report: the summary lines plus
+// one table row per block, all through the same tabwriter.
+func TestFormatInfoBlocks(t *testing.T) {
+	out := formatInfoBlocks("x.ptrc", tracestore.ArchiveInfo{
+		FileSize: 1000, Blocks: 2, Packets: 300, ValidPackets: 290,
+		RawBytes: 1800, CompressedBytes: 900,
+	}, []tracestore.BlockStat{
+		{Packets: 200, Valid: 195, RawBytes: 1200, CompressedBytes: 600},
+		{Packets: 100, Valid: 95, RawBytes: 600, CompressedBytes: 240},
+	})
+	for _, want := range []string{
+		"10 invalid", "block", "compressed", "195", "40.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verbose info output missing %q:\n%s", want, out)
+		}
+	}
+	if got, want := strings.Count(out, "\n"), 5+1+2+1; got != want {
+		t.Errorf("verbose info has %d lines, want %d:\n%s", got, want, out)
 	}
 }

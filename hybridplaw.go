@@ -23,6 +23,7 @@ package hybridplaw
 
 import (
 	"io"
+	"net/http"
 
 	"hybridplaw/internal/boot"
 	"hybridplaw/internal/estimate"
@@ -31,6 +32,7 @@ import (
 	"hybridplaw/internal/hist"
 	"hybridplaw/internal/model"
 	"hybridplaw/internal/netgen"
+	"hybridplaw/internal/obs"
 	"hybridplaw/internal/palu"
 	"hybridplaw/internal/powerlaw"
 	"hybridplaw/internal/scenario"
@@ -585,3 +587,25 @@ func PaperRegistry(seed uint64) *ScenarioRegistry { return experiments.MustRegis
 // ScenarioIndexMarkdown renders a registry as the experiment index (the
 // content of EXPERIMENTS.md).
 func ScenarioIndexMarkdown(reg *ScenarioRegistry) string { return scenario.ListMarkdown(reg) }
+
+// --- Observability (DESIGN.md §11) ---------------------------------------
+
+// MetricsRegistry is a set of named instruments (counters, gauges,
+// histograms, timers) with deterministic sorted snapshots. Pass one as
+// ScenarioConfig.Metrics (or to the internal layer bundles via the
+// CLIs' -metrics flags) to instrument a run end to end.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time view of a registry, exportable as
+// JSON (WriteJSON) or Prometheus text (WriteText).
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetricsRegistry returns the process-global registry.
+func DefaultMetricsRegistry() *MetricsRegistry { return obs.Default() }
+
+// MetricsHandler returns an http.Handler serving a registry's snapshot
+// (Prometheus text; ?format=json for JSON).
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg) }

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// Handler returns an http.Handler serving the registry's snapshot:
+// Prometheus-style text by default, JSON with ?format=json.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		snap.WriteText(w)
+	})
+}
+
+// DebugMux returns a mux exposing the registry and the runtime
+// profilers — what a long-running driver mounts behind its -http flag:
+//
+//	/metrics        Prometheus-style text (?format=json for JSON)
+//	/debug/pprof/*  net/http/pprof (profile, heap, goroutine, trace, ...)
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer listens on addr and serves DebugMux in a background
+// goroutine. It returns the bound address (useful with ":0") and a stop
+// function that closes the listener. Serving errors after Close are
+// expected and dropped; the server lives until the process or stop
+// ends it — these drivers exit by returning from main.
+func StartDebugServer(addr string, reg *Registry) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: DebugMux(reg)}
+	go srv.Serve(ln)
+	return ln.Addr(), func() error { return srv.Close() }, nil
+}
+
+// StartCPUProfile begins a runtime/pprof CPU profile into path and
+// returns the function that stops the profile and closes the file: the
+// implementation behind the CLI -cpuprofile flags, so profile capture
+// no longer requires editing code.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := rpprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		rpprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to path (after a GC, so the
+// profile reflects live objects, not garbage): the implementation
+// behind the CLI -memprofile flags, written on clean shutdown.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := rpprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

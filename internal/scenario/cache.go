@@ -37,6 +37,7 @@ type CacheStats struct {
 // single-flighted; distinct keys record and replay independently.
 type WindowCache struct {
 	dir string
+	m   *Metrics // engine's bundle (nil = stripped); mirrors the atomics
 
 	mu    sync.Mutex
 	locks map[string]*sync.Mutex
@@ -100,9 +101,11 @@ func (c *WindowCache) ensure(req WindowReq) (string, error) {
 	path := c.path(key)
 	if info, err := tracestore.InfoFile(path); err == nil && info.ValidPackets == req.ValidPackets() {
 		c.hits.Add(1)
+		c.m.cacheHit()
 		return path, nil
 	}
 	c.misses.Add(1)
+	c.m.cacheMiss()
 
 	site, err := netgen.NewSite(req.Site)
 	if err != nil {
@@ -113,7 +116,7 @@ func (c *WindowCache) ensure(req WindowReq) (string, error) {
 		return "", fmt.Errorf("scenario: creating cache entry: %w", err)
 	}
 	n, err := tracestore.Record(tmp, stream.TakeValid(site.PacketSource(), req.ValidPackets()),
-		tracestore.WriterOptions{})
+		tracestore.WriterOptions{Metrics: c.m.traceMetrics()})
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -125,6 +128,7 @@ func (c *WindowCache) ensure(req WindowReq) (string, error) {
 		return "", fmt.Errorf("scenario: recording window %s: %w", key, err)
 	}
 	c.recorded.Add(n)
+	c.m.cacheRecorded(n)
 	return path, nil
 }
 
@@ -161,6 +165,7 @@ func (c *WindowCache) Stream(req WindowReq, cfg stream.PipelineConfig, sinks ...
 		if err != nil {
 			return stream.PipelineStats{}, err
 		}
+		seq.SetMetrics(c.m.traceMetrics())
 		src = seq
 	} else {
 		fi, err := f.Stat()
@@ -170,7 +175,7 @@ func (c *WindowCache) Stream(req WindowReq, cfg stream.PipelineConfig, sinks ...
 		decodeWorkers := budget / 2
 		cfg.Workers = budget - decodeWorkers
 		par, err := tracestore.NewParallelReader(f, fi.Size(),
-			tracestore.ParallelOptions{Workers: decodeWorkers})
+			tracestore.ParallelOptions{Workers: decodeWorkers, Metrics: c.m.traceMetrics()})
 		if err != nil {
 			return stream.PipelineStats{}, err
 		}
@@ -180,6 +185,7 @@ func (c *WindowCache) Stream(req WindowReq, cfg stream.PipelineConfig, sinks ...
 	stats, err := stream.Run(src, cfg, sinks...)
 	if stats.SourcePacketsRead > 0 {
 		c.replayed.Add(stats.SourcePacketsRead)
+		c.m.cacheReplayed(stats.SourcePacketsRead)
 	}
 	if err != nil {
 		return stats, err

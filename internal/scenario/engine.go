@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hybridplaw/internal/netgen"
+	"hybridplaw/internal/obs"
 	"hybridplaw/internal/plotio"
 	"hybridplaw/internal/stream"
 )
@@ -36,6 +37,11 @@ type Config struct {
 	// leaves the pipeline default (1). Results are identical at any
 	// shard count — this is a throughput knob only.
 	PipelineShards int
+	// Metrics, when non-nil, instruments the whole suite against that
+	// registry: scheduler spans and occupancy, window-cache counters,
+	// and the stream/PTRC bundles injected into every inner pipeline
+	// and archive codec (see NewMetrics). Nil strips instrumentation.
+	Metrics *obs.Registry
 }
 
 // Report is the outcome of one scheduled scenario.
@@ -60,6 +66,7 @@ type Engine struct {
 	reg   *Registry
 	cfg   Config
 	cache *WindowCache
+	m     *Metrics
 }
 
 // NewEngine validates the configuration and opens the window cache.
@@ -71,15 +78,23 @@ func NewEngine(reg *Registry, cfg Config) (*Engine, error) {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{reg: reg, cfg: cfg}
+	if cfg.Metrics != nil {
+		e.m = NewMetrics(cfg.Metrics)
+	}
 	if cfg.CacheDir != "" {
 		cache, err := NewWindowCache(cfg.CacheDir)
 		if err != nil {
 			return nil, err
 		}
+		cache.m = e.m
 		e.cache = cache
 	}
 	return e, nil
 }
+
+// Metrics returns the engine's instrument bundle (nil when Config.
+// Metrics was nil).
+func (e *Engine) Metrics() *Metrics { return e.m }
 
 // CacheStats snapshots the window-cache counters (zero when caching is
 // disabled).
@@ -335,6 +350,7 @@ func (e *Engine) runOne(s Scenario, pipeWorkers int) (rep Report) {
 	rep.Scenario = s
 	ctx := &Context{eng: e, scen: s, pipeWorkers: pipeWorkers}
 	start := time.Now()
+	sp := e.m.runStart()
 	defer func() {
 		rep.Duration = time.Since(start)
 		rep.Artifacts = ctx.writtenNames()
@@ -342,6 +358,7 @@ func (e *Engine) runOne(s Scenario, pipeWorkers int) (rep Report) {
 			rep.Result = nil
 			rep.Err = fmt.Errorf("scenario %q panicked: %v", s.Name, p)
 		}
+		e.m.runEnd(sp, rep.Err != nil)
 	}()
 	rep.Result, rep.Err = s.Run(ctx)
 	return rep
@@ -426,6 +443,9 @@ func (c *Context) Stream(req WindowReq, cfg stream.PipelineConfig, sinks ...stre
 		}
 		if cfg.Shards <= 0 {
 			cfg.Shards = c.eng.cfg.PipelineShards
+		}
+		if cfg.Metrics == nil {
+			cfg.Metrics = c.eng.m.streamMetrics()
 		}
 		if c.eng.cache != nil {
 			return c.eng.cache.Stream(req, cfg, sinks...)

@@ -266,6 +266,11 @@ type PipelineConfig struct {
 	// cost as KeepMatrices). The federation scenarios set it to merge
 	// per-site windows into a backbone view.
 	KeepPartials bool
+	// Metrics, when non-nil, instruments the run: stage timers at block
+	// and window granularity, queue/pool accounting, and exact packet
+	// counters settled from the run's stats (see NewMetrics). Nil
+	// strips instrumentation to inert nil-receiver branches.
+	Metrics *Metrics
 }
 
 // MaxShards bounds the intra-window reduce width; beyond this, shard
@@ -340,6 +345,7 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 	if c, ok := src.(PacketCounter); ok {
 		stats.SourcePacketsRead = c.PacketsRead()
 	}
+	cfg.Metrics.settleStats(&stats)
 	if err != nil {
 		return stats, err
 	}
@@ -353,23 +359,37 @@ func Run(src PacketSource, cfg PipelineConfig, sinks ...Sink) (PipelineStats, er
 // this is the one-pass hot path: compressed PTRC payloads decode
 // directly into the builder's flat tables.
 func runSerial(src PacketSource, cfg PipelineConfig, stats *PipelineStats, sinks []Sink) error {
+	// Instrument handles are pulled once; with cfg.Metrics == nil they
+	// are nil and every Start/Inc below is an inert branch.
+	ingestT := cfg.Metrics.ingestTimer()
+	closeT := cfg.Metrics.windowCloseTimer()
+	sinkT := cfg.Metrics.sinkTimer()
+	bAlloc, bReuse := cfg.Metrics.builderCounters()
+
 	b := spmat.NewBuilder()
+	bAlloc.Inc()
 	w := newDirectWindow(b, cfg.NV)
 	t := 0
 	done := false
 	closeWindow := func() error {
+		csp := closeT.Start()
 		res, err := reduceWindow(t, b, cfg)
+		csp.Stop()
 		if err != nil {
 			return err
 		}
+		ssp := sinkT.Start()
 		for _, s := range sinks {
 			if err := s.ConsumeWindow(res); err != nil {
+				ssp.Stop()
 				return err
 			}
 		}
+		ssp.Stop()
 		stats.Windows++
 		t++
 		b.Reset()
+		bReuse.Inc()
 		w.n = 0
 		if cfg.MaxWindows > 0 && t >= cfg.MaxWindows {
 			done = true
@@ -379,7 +399,9 @@ func runSerial(src PacketSource, cfg PipelineConfig, stats *PipelineStats, sinks
 	switch s := src.(type) {
 	case EncodedBlockSource:
 		for !done {
+			isp := ingestT.Start()
 			valid, invalid, full, ok := s.DecodeInto(w)
+			isp.Stop()
 			stats.ValidPackets += valid
 			stats.InvalidPackets += invalid
 			if full {
@@ -393,7 +415,9 @@ func runSerial(src PacketSource, cfg PipelineConfig, stats *PipelineStats, sinks
 		}
 	case BlockSource:
 		for !done {
+			isp := ingestT.Start()
 			blk, ok := s.NextBlock()
+			isp.Stop()
 			if !ok {
 				break
 			}
@@ -459,6 +483,16 @@ func runParallel(src PacketSource, cfg PipelineConfig, workers, shards int, stat
 		err error
 	}
 
+	// Instrument handles are pulled once; with cfg.Metrics == nil they
+	// are nil and every Start/Inc/Add below is an inert branch.
+	ingestT := cfg.Metrics.ingestTimer()
+	reduceT := cfg.Metrics.reduceTimer()
+	closeT := cfg.Metrics.windowCloseTimer()
+	sinkT := cfg.Metrics.sinkTimer()
+	queueG := cfg.Metrics.queueGauge()
+	wAlloc, wReuse := cfg.Metrics.windowPoolCounters()
+	bAlloc, bReuse := cfg.Metrics.builderCounters()
+
 	// The window pool is the memory bound: workers+1 window-sized
 	// pre-partitioned key buffers exist for the lifetime of the run (one
 	// filling, up to workers being reduced).
@@ -466,6 +500,7 @@ func runParallel(src PacketSource, cfg PipelineConfig, workers, shards int, stat
 	for i := 0; i < workers+1; i++ {
 		free <- newPairWindow(shards, cfg.NV)
 	}
+	wAlloc.Add(int64(workers + 1))
 	jobs := make(chan job)
 	results := make(chan outcome, workers)
 	stop := make(chan struct{}) // closed once on the first consumer-side error
@@ -484,14 +519,21 @@ func runParallel(src PacketSource, cfg PipelineConfig, workers, shards int, stat
 			for s := range builders {
 				builders[s] = spmat.NewBuilder()
 			}
+			bAlloc.Add(int64(shards))
 			for j := range jobs {
+				rsp := reduceT.Start()
 				root := reduceShards(builders, j.chunk)
+				rsp.Stop()
+				csp := closeT.Start()
 				res, err := reduceWindow(j.t, root, cfg)
+				csp.Stop()
 				for _, b := range builders {
 					b.Reset()
 				}
+				bReuse.Add(int64(shards))
 				j.chunk.reset()
 				free <- j.chunk // capacity workers+1: never blocks
+				queueG.Add(-1)
 				results <- outcome{t: j.t, res: res, err: err}
 			}
 		}()
@@ -524,6 +566,7 @@ func runParallel(src PacketSource, cfg PipelineConfig, workers, shards int, stat
 				}
 				delete(pending, next)
 				next++
+				ssp := sinkT.Start()
 				for _, s := range sinks {
 					if err := s.ConsumeWindow(res); err != nil {
 						consumeErr = err
@@ -531,6 +574,7 @@ func runParallel(src PacketSource, cfg PipelineConfig, workers, shards int, stat
 						break
 					}
 				}
+				ssp.Stop()
 				if consumeErr == nil {
 					delivered++
 				}
@@ -548,6 +592,7 @@ func runParallel(src PacketSource, cfg PipelineConfig, workers, shards int, stat
 	handoff := func() bool {
 		select {
 		case jobs <- job{t: t, chunk: chunk}:
+			queueG.Add(1)
 		case <-stop:
 			return false
 		}
@@ -558,6 +603,7 @@ func runParallel(src PacketSource, cfg PipelineConfig, workers, shards int, stat
 		}
 		select {
 		case chunk = <-free:
+			wReuse.Inc()
 		case <-stop:
 			return false
 		}
@@ -569,7 +615,9 @@ func runParallel(src PacketSource, cfg PipelineConfig, workers, shards int, stat
 		// into the shard buffers — one pass, no []Packet materialization.
 	ingestEncoded:
 		for {
+			isp := ingestT.Start()
 			valid, invalid, full, ok := s.DecodeInto(chunk)
+			isp.Stop()
 			stats.ValidPackets += valid
 			stats.InvalidPackets += invalid
 			if full && !handoff() {
@@ -585,7 +633,9 @@ func runParallel(src PacketSource, cfg PipelineConfig, workers, shards int, stat
 		// with no per-packet interface dispatch.
 	ingestBlocks:
 		for {
+			isp := ingestT.Start()
 			blk, ok := s.NextBlock()
+			isp.Stop()
 			if !ok {
 				break
 			}

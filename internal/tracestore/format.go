@@ -324,11 +324,14 @@ const maxDeflateRatio = 1032
 func minRawLen(n int) int { return (n+7)/8 + 2*n }
 
 // blockDecoder holds the reusable state for decompressing and decoding
-// blocks: one per sequential reader, one per parallel worker.
+// blocks: one per sequential reader, one per parallel worker. An
+// attached Metrics bundle (nil = stripped) makes decompress the single
+// read-side instrumentation point.
 type blockDecoder struct {
 	fr  io.ReadCloser
 	src bytes.Reader
 	raw []byte
+	m   *Metrics
 }
 
 // decompress verifies the compressed payload against the header CRC and
@@ -339,7 +342,9 @@ func (d *blockDecoder) decompress(h blockHeader, comp, buf []byte) ([]byte, erro
 	if len(comp) != h.compLen {
 		return nil, corruptf("block payload truncated: %d of %d bytes", len(comp), h.compLen)
 	}
+	sp := d.m.inflateStart()
 	if crc := crc32.Checksum(comp, crcTable); crc != h.crc {
+		d.m.crcFailure()
 		return nil, corruptf("block CRC mismatch: stored %08x, computed %08x", h.crc, crc)
 	}
 	d.src.Reset(comp)
@@ -348,7 +353,8 @@ func (d *blockDecoder) decompress(h blockHeader, comp, buf []byte) ([]byte, erro
 	} else if err := d.fr.(flate.Resetter).Reset(&d.src, nil); err != nil {
 		return nil, err
 	}
-	if cap(buf) < h.rawLen {
+	reused := cap(buf) >= h.rawLen
+	if !reused {
 		buf = make([]byte, h.rawLen)
 	}
 	buf = buf[:h.rawLen]
@@ -359,6 +365,8 @@ func (d *blockDecoder) decompress(h blockHeader, comp, buf []byte) ([]byte, erro
 	if n, _ := d.fr.Read(extra[:]); n != 0 {
 		return nil, corruptf("block decompresses past its declared raw length %d", h.rawLen)
 	}
+	sp.Stop()
+	d.m.blockRead(h.compLen, h.rawLen, reused)
 	return buf, nil
 }
 
@@ -571,4 +579,53 @@ func InfoFile(path string) (ArchiveInfo, error) {
 		return ArchiveInfo{}, err
 	}
 	return Info(f, fi.Size())
+}
+
+// BlockStat is one block's index entry as exposed to inspection tools
+// (palu-trace info -verbose): per-block packet counts and payload sizes,
+// read from the trailing index without decoding the block.
+type BlockStat struct {
+	// Packets and Valid count the block's packets and its valid subset.
+	Packets int
+	Valid   int64
+	// RawBytes and CompressedBytes size the payload before and after
+	// compression.
+	RawBytes        int
+	CompressedBytes int
+}
+
+// InfoFileBlocks summarizes the archive at path like InfoFile and
+// additionally returns the per-block table from the trailing index.
+func InfoFileBlocks(path string) (ArchiveInfo, []BlockStat, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ArchiveInfo{}, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return ArchiveInfo{}, nil, err
+	}
+	idx, err := readIndex(f, fi.Size())
+	if err != nil {
+		return ArchiveInfo{}, nil, err
+	}
+	info := ArchiveInfo{
+		FileSize:     fi.Size(),
+		Blocks:       len(idx.blocks),
+		Packets:      idx.total,
+		ValidPackets: idx.valid,
+	}
+	stats := make([]BlockStat, len(idx.blocks))
+	for i, bl := range idx.blocks {
+		info.RawBytes += int64(bl.rawLen)
+		info.CompressedBytes += int64(bl.compLen)
+		stats[i] = BlockStat{
+			Packets:         bl.packets,
+			Valid:           bl.valid,
+			RawBytes:        bl.rawLen,
+			CompressedBytes: bl.compLen,
+		}
+	}
+	return info, stats, nil
 }

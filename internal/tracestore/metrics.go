@@ -1,0 +1,129 @@
+package tracestore
+
+// PTRC observability (DESIGN.md §11). A Metrics bundle instruments the
+// archive codecs at block granularity: the single choke point on the
+// read side is blockDecoder.decompress (every sequential and parallel
+// block passes through it), and on the write side Writer.flushBlock.
+// A nil *Metrics strips everything to inert branches.
+
+import "hybridplaw/internal/obs"
+
+// Metrics holds the PTRC instruments, all registered against one
+// registry. A nil *Metrics disables instrumentation.
+type Metrics struct {
+	reg *obs.Registry
+
+	// BlocksRead counts blocks CRC-checked and inflated;
+	// BlocksWritten counts blocks deflated and flushed.
+	BlocksRead    *obs.Counter
+	BlocksWritten *obs.Counter
+
+	// Read/Write byte totals measure the block payloads crossing the
+	// codecs, before and after compression (headers excluded).
+	ReadCompressedBytes  *obs.Counter
+	ReadRawBytes         *obs.Counter
+	WriteRawBytes        *obs.Counter
+	WriteCompressedBytes *obs.Counter
+
+	// CRCFailures counts blocks rejected by the Castagnoli check.
+	CRCFailures *obs.Counter
+
+	// RawBufReuse / RawBufAlloc split decompress target buffers into
+	// warm reuses and fresh (or grown) allocations.
+	RawBufReuse *obs.Counter
+	RawBufAlloc *obs.Counter
+
+	// InflateTime spans one block decompression (CRC check included);
+	// DeflateTime spans one block compression.
+	InflateTime *obs.Timer
+	DeflateTime *obs.Timer
+}
+
+// NewMetrics registers the PTRC instrument set against reg (the process
+// default registry if nil) and returns the bundle. Calling it twice
+// with one registry returns bundles sharing the same instruments.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Metrics{
+		reg: reg,
+		BlocksRead: reg.Counter("palu_ptrc_blocks_read_total",
+			"archive blocks CRC-checked and inflated"),
+		BlocksWritten: reg.Counter("palu_ptrc_blocks_written_total",
+			"archive blocks deflated and flushed"),
+		ReadCompressedBytes: reg.Counter("palu_ptrc_read_compressed_bytes_total",
+			"compressed block payload bytes read"),
+		ReadRawBytes: reg.Counter("palu_ptrc_read_raw_bytes_total",
+			"raw block payload bytes produced by inflate"),
+		WriteRawBytes: reg.Counter("palu_ptrc_write_raw_bytes_total",
+			"raw block payload bytes fed to deflate"),
+		WriteCompressedBytes: reg.Counter("palu_ptrc_write_compressed_bytes_total",
+			"compressed block payload bytes written"),
+		CRCFailures: reg.Counter("palu_ptrc_crc_failures_total",
+			"blocks rejected by the CRC check"),
+		RawBufReuse: reg.Counter("palu_ptrc_rawbuf_reuse_total",
+			"decompress target buffers reused warm"),
+		RawBufAlloc: reg.Counter("palu_ptrc_rawbuf_alloc_total",
+			"decompress target buffers allocated or grown"),
+		InflateTime: reg.Timer("palu_ptrc_inflate_ns",
+			"block CRC check + decompression time", 0),
+		DeflateTime: reg.Timer("palu_ptrc_deflate_ns",
+			"block compression time", 0),
+	}
+}
+
+// Registry returns the registry the instruments live in (nil for a nil
+// bundle).
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// The nil-safe hooks below are what the codecs call; each is an inert
+// branch on a nil bundle.
+
+func (m *Metrics) crcFailure() {
+	if m != nil {
+		m.CRCFailures.Inc()
+	}
+}
+
+func (m *Metrics) inflateStart() obs.Span {
+	if m == nil {
+		return obs.Span{}
+	}
+	return m.InflateTime.Start()
+}
+
+func (m *Metrics) deflateStart() obs.Span {
+	if m == nil {
+		return obs.Span{}
+	}
+	return m.DeflateTime.Start()
+}
+
+func (m *Metrics) blockRead(compLen, rawLen int, reused bool) {
+	if m == nil {
+		return
+	}
+	m.BlocksRead.Inc()
+	m.ReadCompressedBytes.Add(int64(compLen))
+	m.ReadRawBytes.Add(int64(rawLen))
+	if reused {
+		m.RawBufReuse.Inc()
+	} else {
+		m.RawBufAlloc.Inc()
+	}
+}
+
+func (m *Metrics) blockWritten(rawLen, compLen int) {
+	if m == nil {
+		return
+	}
+	m.BlocksWritten.Inc()
+	m.WriteRawBytes.Add(int64(rawLen))
+	m.WriteCompressedBytes.Add(int64(compLen))
+}

@@ -16,6 +16,11 @@ type ParallelOptions struct {
 	// of the consumer; <= 0 selects 2 (double buffering: one block being
 	// consumed, one ready).
 	Prefetch int
+	// Metrics, when non-nil, instruments every worker's block decoder
+	// (blocks read, inflate time, bytes, CRC failures, buffer reuse).
+	// It must be set at construction: workers start inside
+	// NewParallelReader, so there is no safe post-start attach.
+	Metrics *Metrics
 }
 
 // ParallelReader replays a PTRC archive with block fetch, CRC check and
@@ -137,7 +142,7 @@ func NewParallelReader(r io.ReaderAt, size int64, opts ParallelOptions) (*Parall
 		go func() {
 			defer p.wg.Done()
 			defer workerWG.Done()
-			var dec blockDecoder
+			dec := blockDecoder{m: opts.Metrics}
 			var rec []byte
 			for i := range jobs {
 				bl := idx.blocks[i]

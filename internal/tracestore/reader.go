@@ -44,6 +44,12 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: r, off: int64(len(fileMagic))}, nil
 }
 
+// SetMetrics attaches an instrument bundle (nil = stripped) to the
+// reader's block decoder. Call it before the first read; the sequential
+// reader decodes on the caller's goroutine, so attaching mid-stream is
+// safe but splits the accounting.
+func (r *Reader) SetMetrics(m *Metrics) { r.dec.m = m }
+
 // readFull wraps io.ReadFull with offset accounting.
 func (r *Reader) readFull(b []byte) error {
 	n, err := io.ReadFull(r.r, b)

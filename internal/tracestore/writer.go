@@ -21,6 +21,9 @@ type WriterOptions struct {
 	// Level is the DEFLATE compression level (flate.BestSpeed .. 9);
 	// 0 selects flate.DefaultCompression.
 	Level int
+	// Metrics, when non-nil, instruments the writer (blocks written,
+	// deflate time, raw/compressed byte totals).
+	Metrics *Metrics
 }
 
 func (o WriterOptions) normalize() (WriterOptions, error) {
@@ -130,6 +133,7 @@ func (w *Writer) flushBlock() error {
 	w.rec.WriteByte(tagBlock)
 	var hdr [blockHeaderLen]byte
 	w.rec.Write(hdr[:]) // patched below once compLen and CRC are known
+	sp := w.opts.Metrics.deflateStart()
 	w.fw.Reset(&w.rec)
 	if _, err := w.fw.Write(w.raw); err != nil {
 		w.err = err
@@ -139,6 +143,7 @@ func (w *Writer) flushBlock() error {
 		w.err = err
 		return err
 	}
+	sp.Stop()
 
 	rec := w.rec.Bytes()
 	comp := rec[1+blockHeaderLen:]
@@ -159,6 +164,7 @@ func (w *Writer) flushBlock() error {
 		w.err = err
 		return err
 	}
+	w.opts.Metrics.blockWritten(info.rawLen, info.compLen)
 	w.blocks = append(w.blocks, info)
 	w.buf = w.buf[:0]
 	return nil
