@@ -1,18 +1,20 @@
 // Command palu-bench runs the repo's pinned hot-path benchmarks —
 // streaming window reduce (a worker × shard matrix plus the legacy
 // serial/sharded pins), PTRC archive replay (sequential and parallel
-// decode), and model fitting — and writes a machine-readable JSON
-// record. BENCH_PR7.json at the repo root is the committed perf
-// trajectory; CI re-runs the suite and compares against it
-// benchstat-style. The suite runs instrumented (internal/obs) and v3
-// records embed the resulting metrics snapshot, so every committed
+// decode, per block codec), and model fitting — and writes a
+// machine-readable JSON record. BENCH_PR8.json at the repo root is the
+// committed perf trajectory; CI re-runs the suite and compares against
+// it benchstat-style. The suite runs instrumented (internal/obs) and
+// v3+ records embed the resulting metrics snapshot, so every committed
 // record also documents the workload's exact block/window/packet
-// accounting.
+// accounting. v4 records add the codec dimension: each replay entry
+// names its block codec and archive size, pricing the packed codec's
+// size/speed trade against DEFLATE on identical traces.
 //
 // Usage:
 //
-//	palu-bench -out BENCH_PR7.json                    # run + record
-//	palu-bench -out /tmp/b.json -compare BENCH_PR7.json -max-regression 5
+//	palu-bench -out BENCH_PR8.json                    # run + record
+//	palu-bench -out /tmp/b.json -compare BENCH_PR8.json -max-regression 5
 //	palu-bench -packets 500000 -replay-packets 200000 # smaller workloads
 //	palu-bench -metrics - -cpuprofile cpu.pb.gz       # snapshot + profile
 //
@@ -60,11 +62,16 @@ type Record struct {
 // entry (not just per record) so a compare against a baseline captured
 // on different hardware can skip throughput gating entry by entry;
 // Workers/Shards identify the matrix point for pipeline benchmarks.
+// Codec and ArchiveBytes (v4+) identify the PTRC block codec a replay
+// benchmark decoded and the archive size it read, so a committed record
+// prices the codec's size/speed trade, not just its speed.
 type Bench struct {
 	Name         string  `json:"name"`
 	CPUs         int     `json:"cpus,omitempty"`
 	Workers      int     `json:"workers,omitempty"`
 	Shards       int     `json:"shards,omitempty"`
+	Codec        string  `json:"codec,omitempty"`
+	ArchiveBytes uint64  `json:"archive_bytes,omitempty"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	MBPerS       float64 `json:"mb_per_s,omitempty"`
 	MPacketsPerS float64 `json:"mpackets_per_s,omitempty"`
@@ -75,7 +82,8 @@ type Bench struct {
 const (
 	schemaV1 = "palu-bench-v1" // pre-matrix records: no per-entry CPUs
 	schemaV2 = "palu-bench-v2" // pre-obs records: no metrics snapshot
-	schemaV3 = "palu-bench-v3"
+	schemaV3 = "palu-bench-v3" // pre-codec records: deflate-only replay
+	schemaV4 = "palu-bench-v4"
 )
 
 // matrixWorkers × matrixShards is the pipeline benchmark grid. The
@@ -161,7 +169,7 @@ type suiteConfig struct {
 // the hot path as shipped (the overhead gate in the root test suite
 // separately bounds the instrumented/stripped ratio).
 func runSuite(cfg suiteConfig) (Record, error) {
-	rec := Record{Schema: schemaV3, Go: runtime.Version(), CPUs: runtime.NumCPU()}
+	rec := Record{Schema: schemaV4, Go: runtime.Version(), CPUs: runtime.NumCPU()}
 	obsReg := cfg.obs
 	if obsReg == nil {
 		obsReg = obs.NewRegistry()
@@ -226,43 +234,57 @@ func runSuite(cfg suiteConfig) (Record, error) {
 		}
 	}
 
-	// PTRC replay: one in-memory archive, replayed through the pipeline.
-	var archive bytes.Buffer
-	if _, err := tracestore.Record(&archive,
-		newSynthTrace(3, cfg.replayPackets, nodes), tracestore.WriterOptions{Metrics: tm}); err != nil {
-		return rec, err
-	}
-	raw := archive.Bytes()
+	// PTRC replay: the same synthetic trace archived once per codec,
+	// each archive replayed through the pipeline both sequentially and
+	// in parallel. The deflate entries keep their pre-codec names so the
+	// perf trajectory across committed records stays continuous; packed
+	// entries get a -packed suffix. ArchiveBytes on each entry is what
+	// prices the codec trade: packed must buy its decode speed without
+	// blowing up the bytes the benchmark had to read.
 	replayNV := cfg.replayPackets / 8
 	if replayNV < 1 {
 		replayNV = 1
 	}
-	b, err := measure("ptrc-replay-sequential", cfg.minTime, cfg.maxIters, func() error {
-		src, err := tracestore.NewReader(bytes.NewReader(raw))
-		if err != nil {
-			return err
+	for _, codec := range []tracestore.Codec{tracestore.CodecDeflate, tracestore.CodecPacked} {
+		var archive bytes.Buffer
+		if _, err := tracestore.Record(&archive, newSynthTrace(3, cfg.replayPackets, nodes),
+			tracestore.WriterOptions{Metrics: tm, Codec: codec}); err != nil {
+			return rec, err
 		}
-		src.SetMetrics(tm)
-		_, err = stream.Run(src, stream.PipelineConfig{NV: replayNV, Workers: 1, Metrics: sm})
-		return err
-	})
-	b.MBPerS = float64(len(raw)) / (b.NsPerOp / 1e9) / 1e6
-	if err := add(b, err); err != nil {
-		return rec, err
-	}
-	b, err = measure("ptrc-replay-parallel", cfg.minTime, cfg.maxIters, func() error {
-		src, err := tracestore.NewParallelReader(bytes.NewReader(raw), int64(len(raw)),
-			tracestore.ParallelOptions{Metrics: tm})
-		if err != nil {
-			return err
+		raw := archive.Bytes()
+		suffix := ""
+		if codec != tracestore.CodecDeflate {
+			suffix = "-" + codec.String()
 		}
-		defer src.Close()
-		_, err = stream.Run(src, stream.PipelineConfig{NV: replayNV, Metrics: sm})
-		return err
-	})
-	b.MBPerS = float64(len(raw)) / (b.NsPerOp / 1e9) / 1e6
-	if err := add(b, err); err != nil {
-		return rec, err
+		b, err := measure("ptrc-replay-sequential"+suffix, cfg.minTime, cfg.maxIters, func() error {
+			src, err := tracestore.NewReader(bytes.NewReader(raw))
+			if err != nil {
+				return err
+			}
+			src.SetMetrics(tm)
+			_, err = stream.Run(src, stream.PipelineConfig{NV: replayNV, Workers: 1, Metrics: sm})
+			return err
+		})
+		b.Codec, b.ArchiveBytes = codec.String(), uint64(len(raw))
+		b.MBPerS = float64(len(raw)) / (b.NsPerOp / 1e9) / 1e6
+		if err := add(b, err); err != nil {
+			return rec, err
+		}
+		b, err = measure("ptrc-replay-parallel"+suffix, cfg.minTime, cfg.maxIters, func() error {
+			src, err := tracestore.NewParallelReader(bytes.NewReader(raw), int64(len(raw)),
+				tracestore.ParallelOptions{Metrics: tm})
+			if err != nil {
+				return err
+			}
+			defer src.Close()
+			_, err = stream.Run(src, stream.PipelineConfig{NV: replayNV, Metrics: sm})
+			return err
+		})
+		b.Codec, b.ArchiveBytes = codec.String(), uint64(len(raw))
+		b.MBPerS = float64(len(raw)) / (b.NsPerOp / 1e9) / 1e6
+		if err := add(b, err); err != nil {
+			return rec, err
+		}
 	}
 
 	// Fitting: one PALU-generated observed histogram, the ZM fit and the
@@ -377,7 +399,9 @@ func readRecord(path string) (Record, error) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return Record{}, fmt.Errorf("%s: %w", path, err)
 	}
-	if rec.Schema != schemaV1 && rec.Schema != schemaV2 && rec.Schema != schemaV3 {
+	switch rec.Schema {
+	case schemaV1, schemaV2, schemaV3, schemaV4:
+	default:
 		return Record{}, fmt.Errorf("%s: unknown schema %q", path, rec.Schema)
 	}
 	return rec, nil
@@ -386,7 +410,7 @@ func readRecord(path string) (Record, error) {
 func run(args []string, logger *log.Logger) error {
 	fs := flag.NewFlagSet("palu-bench", flag.ContinueOnError)
 	var (
-		out           = fs.String("out", "BENCH_PR7.json", "output JSON path")
+		out           = fs.String("out", "BENCH_PR8.json", "output JSON path")
 		comparePath   = fs.String("compare", "", "baseline JSON to compare against (benchstat-style ratios)")
 		maxRegression = fs.Float64("max-regression", 0, "fail when any same-hardware ns/op or any allocs/op ratio vs the baseline exceeds this factor (0 = report only)")
 		packets       = fs.Int64("packets", 2_000_000, "pipeline benchmark trace length in packets")

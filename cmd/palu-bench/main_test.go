@@ -30,16 +30,19 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.Schema != schemaV3 {
-		t.Errorf("schema = %q, want %q", rec.Schema, schemaV3)
+	if rec.Schema != schemaV4 {
+		t.Errorf("schema = %q, want %q", rec.Schema, schemaV4)
 	}
-	// v3 embeds the instrumented suite's snapshot; the deterministic
-	// counters must show the workload actually ran.
+	// v3+ embeds the instrumented suite's snapshot; the deterministic
+	// counters must show the workload actually ran — including the packed
+	// codec's own read/write counters, proving the codec matrix really
+	// exercised both encodings.
 	if rec.Metrics == nil {
-		t.Fatal("v3 record has no metrics snapshot")
+		t.Fatal("v4 record has no metrics snapshot")
 	}
 	for _, name := range []string{
 		"palu_stream_windows_total", "palu_ptrc_blocks_read_total", "palu_ptrc_blocks_written_total",
+		"palu_ptrc_packed_blocks_read_total", "palu_ptrc_packed_blocks_written_total",
 	} {
 		m, ok := rec.Metrics.Get(name)
 		if !ok || m.Value == 0 {
@@ -52,6 +55,7 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 		"pipeline-w2-s1", "pipeline-w2-s4", "pipeline-w2-s8",
 		"pipeline-w4-s1", "pipeline-w4-s4", "pipeline-w4-s8",
 		"ptrc-replay-sequential", "ptrc-replay-parallel",
+		"ptrc-replay-sequential-packed", "ptrc-replay-parallel-packed",
 		"fit-zm", "fit-registry",
 	}
 	if len(rec.Results) != len(want) {
@@ -69,6 +73,29 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 			t.Errorf("%s: entry records no CPU count", name)
 		}
 	}
+	// Every replay entry names its codec and archive size (the v4
+	// additions); the packed archive must differ in size from deflate's
+	// on the same trace, or the suite silently benchmarked one codec.
+	var deflateBytes, packedBytes uint64
+	for _, b := range rec.Results {
+		if !strings.HasPrefix(b.Name, "ptrc-replay") {
+			continue
+		}
+		if b.Codec == "" || b.ArchiveBytes == 0 {
+			t.Errorf("%s: codec %q / archive bytes %d not recorded", b.Name, b.Codec, b.ArchiveBytes)
+		}
+		switch b.Codec {
+		case "deflate":
+			deflateBytes = b.ArchiveBytes
+		case "packed":
+			packedBytes = b.ArchiveBytes
+		}
+	}
+	if deflateBytes == 0 || packedBytes == 0 || deflateBytes == packedBytes {
+		t.Errorf("replay matrix archive sizes deflate=%d packed=%d: want both codecs, distinct sizes",
+			deflateBytes, packedBytes)
+	}
+
 	// The matrix point {1,1} is the serial pin measured once: identical
 	// numbers under both names, with the matrix geometry recorded.
 	serial, w1s1 := rec.Results[0], rec.Results[2]

@@ -8,6 +8,7 @@
 //	palu-trace record  -out trace.ptrc -nv 100000 -windows 4 [site flags]
 //	palu-trace convert -in trace.csv  -out trace.ptrc
 //	palu-trace convert -in trace.ptrc -out trace.csv
+//	palu-trace convert -in trace.ptrc -out packed.ptrc -codec packed
 //	palu-trace info    -in trace.ptrc
 //	palu-trace replay  -in trace.ptrc -nv 100000 -quantity fan-out
 //
@@ -15,7 +16,8 @@
 // prefix a windows×NV pipeline run consumes, so replaying the archive
 // reproduces direct generation bit-identically. convert translates
 // between the trace CSV and PTRC (direction inferred from the -in file's
-// magic). info prints the archive summary from its index without
+// magic); with -codec on a PTRC input it transcodes between block codecs
+// instead. info prints the archive summary from its index without
 // decoding any block. replay streams an archive through the Section II
 // measurement pipeline with parallel block decode.
 package main
@@ -124,10 +126,15 @@ func cmdRecord(args []string) error {
 		seed    = fs.Uint64("seed", 1, "random seed")
 		block   = fs.Int("block", 0, "packets per PTRC block (0 = default)")
 		level   = fs.Int("level", 0, "DEFLATE level 1..9 (0 = default)")
+		codec   = fs.String("codec", "deflate", "block codec: deflate|packed")
 	)
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("record: -out is required")
+	}
+	c, err := tracestore.ParseCodec(*codec)
+	if err != nil {
+		return fmt.Errorf("record: %w", err)
 	}
 	if *windows <= 0 || *nv <= 0 {
 		return fmt.Errorf("record: -windows and -nv must be positive")
@@ -146,7 +153,7 @@ func cmdRecord(args []string) error {
 	}
 	defer f.Close()
 	n, err := recordSite(f, site, *windows, *nv,
-		tracestore.WriterOptions{BlockSize: *block, Level: *level})
+		tracestore.WriterOptions{BlockSize: *block, Level: *level, Codec: c})
 	if err != nil {
 		return err
 	}
@@ -183,10 +190,18 @@ func cmdConvert(args []string) error {
 		out   = fs.String("out", "", "output trace (opposite format; required)")
 		block = fs.Int("block", 0, "packets per PTRC block (0 = default)")
 		level = fs.Int("level", 0, "DEFLATE level 1..9 (0 = default)")
+		codec = fs.String("codec", "", "block codec for PTRC output: deflate|packed; on a PTRC input, transcode PTRC -> PTRC instead of emitting CSV")
 	)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("convert: -in and -out are required")
+	}
+	var c tracestore.Codec
+	if *codec != "" {
+		var err error
+		if c, err = tracestore.ParseCodec(*codec); err != nil {
+			return fmt.Errorf("convert: %w", err)
+		}
 	}
 	ptrc, err := isPTRC(*in)
 	if err != nil {
@@ -202,12 +217,15 @@ func cmdConvert(args []string) error {
 		return err
 	}
 	defer dst.Close()
+	opts := tracestore.WriterOptions{BlockSize: *block, Level: *level, Codec: c}
 	var n int64
-	if ptrc {
+	switch {
+	case ptrc && *codec != "":
+		n, err = tracestore.TranscodePTRC(src, dst, opts)
+	case ptrc:
 		n, err = tracestore.PTRCToCSV(src, dst)
-	} else {
-		n, err = tracestore.CSVToPTRC(src, dst,
-			tracestore.WriterOptions{BlockSize: *block, Level: *level})
+	default:
+		n, err = tracestore.CSVToPTRC(src, dst, opts)
 	}
 	if err != nil {
 		return err
@@ -261,6 +279,7 @@ func formatInfoBlocks(path string, info tracestore.ArchiveInfo, blocks []tracest
 	fmt.Fprintf(&b, "%s: PTRC archive, %d bytes\n", path, info.FileSize)
 	tw := tabwriter.NewWriter(&b, 0, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintf(tw, "  blocks:\t%d\t\n", info.Blocks)
+	fmt.Fprintf(tw, "  codec:\t%s\t\n", info.CodecMix())
 	fmt.Fprintf(tw, "  packets:\t%d (%d valid, %d invalid)\t\n",
 		info.Packets, info.ValidPackets, info.Packets-info.ValidPackets)
 	if info.Packets > 0 {
@@ -275,14 +294,14 @@ func formatInfoBlocks(path string, info tracestore.ArchiveInfo, blocks []tracest
 		// A tab-free line ends the summary's column block, so the table
 		// below aligns on its own widths.
 		fmt.Fprintln(tw)
-		fmt.Fprintf(tw, "  block\tpackets\tvalid\traw\tcompressed\tratio\t\n")
+		fmt.Fprintf(tw, "  block\tcodec\tpackets\tvalid\traw\tcompressed\tratio\t\n")
 		for i, bs := range blocks {
 			ratio := 0.0
 			if bs.RawBytes > 0 {
 				ratio = 100 * float64(bs.CompressedBytes) / float64(bs.RawBytes)
 			}
-			fmt.Fprintf(tw, "  %d\t%d\t%d\t%d\t%d\t%.1f%%\t\n",
-				i, bs.Packets, bs.Valid, bs.RawBytes, bs.CompressedBytes, ratio)
+			fmt.Fprintf(tw, "  %d\t%s\t%d\t%d\t%d\t%d\t%.1f%%\t\n",
+				i, bs.Codec, bs.Packets, bs.Valid, bs.RawBytes, bs.CompressedBytes, ratio)
 		}
 	}
 	tw.Flush()

@@ -140,7 +140,7 @@ func TestCorruptionIndexDroppedBlock(t *testing.T) {
 	lastBlock := -1
 	for data[off] == tagBlock {
 		lastBlock = off
-		h, err := parseBlockHeader(data[off+1 : off+1+blockHeaderLen])
+		h, err := parseBlockHeader(data[off+1:off+1+blockHeaderLen], CodecDeflate)
 		if err != nil {
 			t.Fatal(err)
 		}

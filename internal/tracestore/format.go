@@ -8,18 +8,22 @@
 // # File layout
 //
 //	fileMagic (8 bytes)
-//	block record ×N:  tag 0x01 | header (count, rawLen, compLen, CRC) | payload
+//	block record ×N:  tag 0x01/0x03 | header (count, rawLen, compLen, CRC) | payload
 //	index record:     tag 0x02 | length | CRC | uvarint-encoded block table
 //	footer (24 bytes): index offset | index length | index CRC | footerMagic
 //
-// Each block holds up to BlockSize packets encoded as a validity bitmap
+// Each block holds up to BlockSize packets under one of two codecs,
+// selected per block by the record tag: tag 0x01 is a validity bitmap
 // followed by interleaved (src, dst) uvarint pairs (see encodeBlockRaw
 // for why pairs beat delta encoding on shuffled heavy-tailed traffic),
-// DEFLATE-compressed as one unit. The per-block CRC (Castagnoli)
-// is over the compressed payload, so corruption is detected before any
-// decode work. The trailing index lists every block's packet count and
-// byte length, which lets readers derive block offsets, seek, slice, and
-// fan blocks out to a decode worker pool; the footer makes the index
+// DEFLATE-compressed as one unit; tag 0x03 is the PTRC2 packed-column
+// codec (see packed.go), bit-packed FOR/PFOR miniblocks decodable
+// without an entropy coder. Archives may mix codecs. The per-block CRC
+// (Castagnoli) is over the stored payload, so corruption is detected
+// before any decode work. The trailing index lists every block's packet
+// count, byte length and (for archives with any non-DEFLATE block)
+// codec, which lets readers derive block offsets, seek, slice, and fan
+// blocks out to a decode worker pool; the footer makes the index
 // discoverable from the end of a seekable file, while the in-stream
 // index record keeps purely sequential readers (pipes) self-contained.
 //
@@ -44,8 +48,9 @@ const (
 	fileMagic   = "PTRCBLK1"
 	footerMagic = "PTRCEND1"
 
-	tagBlock = 0x01
-	tagIndex = 0x02
+	tagBlock       = 0x01
+	tagIndex       = 0x02
+	tagBlockPacked = 0x03
 
 	// blockHeaderLen is the fixed part after a block tag: packet count,
 	// raw length, compressed length, CRC — four uint32, little-endian.
@@ -70,6 +75,72 @@ const (
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Codec identifies the per-block compression scheme. The codec is
+// carried by the block's tag byte (tagBlock = DEFLATE, tagBlockPacked =
+// packed columns) and echoed in the trailing index, so archives may mix
+// codecs block by block and pre-codec `PTRCBLK1` archives keep reading
+// bit-for-bit.
+type Codec uint8
+
+const (
+	// CodecDeflate is the original DEFLATE block codec; the zero value,
+	// so pre-codec writer configurations keep producing byte-identical
+	// archives.
+	CodecDeflate Codec = 0
+	// CodecPacked is the PTRC2 packed-column codec (see packed.go):
+	// per-column FOR/PFOR bit-packed miniblocks decodable without an
+	// entropy coder.
+	CodecPacked Codec = 1
+
+	numCodecs = 2
+)
+
+// String names the codec as accepted by ParseCodec.
+func (c Codec) String() string {
+	switch c {
+	case CodecDeflate:
+		return "deflate"
+	case CodecPacked:
+		return "packed"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
+// ParseCodec parses a codec name as used by CLI flags ("deflate",
+// "packed").
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "deflate":
+		return CodecDeflate, nil
+	case "packed":
+		return CodecPacked, nil
+	default:
+		return 0, fmt.Errorf("tracestore: unknown codec %q (want deflate or packed)", s)
+	}
+}
+
+// tagForCodec maps a codec to its block record tag byte.
+func tagForCodec(c Codec) byte {
+	if c == CodecPacked {
+		return tagBlockPacked
+	}
+	return tagBlock
+}
+
+// codecForTag maps a block record tag byte back to its codec; ok is
+// false for non-block tags.
+func codecForTag(tag byte) (Codec, bool) {
+	switch tag {
+	case tagBlock:
+		return CodecDeflate, true
+	case tagBlockPacked:
+		return CodecPacked, true
+	default:
+		return 0, false
+	}
+}
 
 // MagicLen is the length of the PTRC file magic; IsArchive needs at
 // least this many bytes of prefix.
@@ -97,6 +168,7 @@ type blockInfo struct {
 	valid   int64 // valid packets among them
 	rawLen  int   // uncompressed payload bytes
 	compLen int   // compressed payload bytes as stored
+	codec   Codec // block codec (from the tag byte / index codec section)
 }
 
 // encodeBlockRaw appends the uncompressed encoding of packets to dst:
@@ -286,7 +358,7 @@ func putBlockHeader(dst []byte, h blockHeader) {
 	binary.LittleEndian.PutUint32(dst[12:], h.crc)
 }
 
-func parseBlockHeader(b []byte) (blockHeader, error) {
+func parseBlockHeader(b []byte, codec Codec) (blockHeader, error) {
 	h := blockHeader{
 		packets: int(binary.LittleEndian.Uint32(b[0:])),
 		rawLen:  int(binary.LittleEndian.Uint32(b[4:])),
@@ -302,12 +374,14 @@ func parseBlockHeader(b []byte) (blockHeader, error) {
 		return h, corruptf("block header: compressed length %d out of range", h.compLen)
 	// Plausibility bounds that cap what a corrupt header can make a
 	// reader allocate, proportional to bytes actually present in the
-	// stream: DEFLATE cannot expand beyond ~1032x (one bit per symbol
-	// floor), and n packets need at least a validity bitmap plus two
-	// one-byte varints each.
-	case h.rawLen > h.compLen*maxDeflateRatio+64:
-		return h, corruptf("block header: raw length %d implausible for %d compressed bytes",
-			h.rawLen, h.compLen)
+	// stream. The cap is per codec: DEFLATE cannot expand beyond ~1032x
+	// (one bit per symbol floor), and a packed-column payload cannot
+	// represent 256 packets in fewer than ~6 bytes (maxPackedRatio).
+	// Either way, n packets need at least a validity bitmap plus two
+	// one-byte varints of canonical raw encoding.
+	case h.rawLen > h.compLen*maxStoredRatio(codec)+64:
+		return h, corruptf("block header: raw length %d implausible for %d %s bytes",
+			h.rawLen, h.compLen, codec)
 	case h.rawLen < minRawLen(h.packets):
 		return h, corruptf("block header: raw length %d below minimum %d for %d packets",
 			h.rawLen, minRawLen(h.packets), h.packets)
@@ -318,6 +392,18 @@ func parseBlockHeader(b []byte) (blockHeader, error) {
 // maxDeflateRatio is the maximum expansion factor of DEFLATE (the
 // stored-symbol floor is just under one bit per output byte).
 const maxDeflateRatio = 1032
+
+// maxStoredRatio bounds rawLen/compLen for a block of the given codec,
+// used by the header plausibility check. PR 5's original check hardcoded
+// the DEFLATE ratio; each codec now declares its own worst case so a
+// corrupt packed header cannot smuggle an oversized allocation through
+// the looser bound of another codec.
+func maxStoredRatio(codec Codec) int {
+	if codec == CodecPacked {
+		return maxPackedRatio
+	}
+	return maxDeflateRatio
+}
 
 // minRawLen is the smallest possible raw encoding of n packets: the
 // validity bitmap plus two one-byte varints per packet.
@@ -334,18 +420,33 @@ type blockDecoder struct {
 	m   *Metrics
 }
 
-// decompress verifies the compressed payload against the header CRC and
-// inflates it into buf (grown as needed, contents overwritten), returning
-// the raw payload. Callers that hand raw payloads across goroutines pass
-// pooled buffers; the decoder itself stays single-goroutine.
-func (d *blockDecoder) decompress(h blockHeader, comp, buf []byte) ([]byte, error) {
+// decompress verifies the stored payload against the header CRC and
+// stages it into buf (grown as needed, contents overwritten), returning
+// the block's working payload: the inflated raw encoding for DEFLATE
+// blocks, or a copy of the packed payload for packed blocks (whose
+// bit-unpack is deferred to the consumer's decode walk). Either way the
+// returned buffer is independent of comp, so callers that hand payloads
+// across goroutines can pass pooled buffers and recycle comp
+// immediately; the decoder itself stays single-goroutine.
+func (d *blockDecoder) decompress(codec Codec, h blockHeader, comp, buf []byte) ([]byte, error) {
 	if len(comp) != h.compLen {
 		return nil, corruptf("block payload truncated: %d of %d bytes", len(comp), h.compLen)
 	}
-	sp := d.m.inflateStart()
+	sp := d.m.decodeStart(codec)
 	if crc := crc32.Checksum(comp, crcTable); crc != h.crc {
 		d.m.crcFailure()
 		return nil, corruptf("block CRC mismatch: stored %08x, computed %08x", h.crc, crc)
+	}
+	if codec == CodecPacked {
+		reused := cap(buf) >= h.compLen
+		if !reused {
+			buf = make([]byte, h.compLen)
+		}
+		buf = buf[:h.compLen]
+		copy(buf, comp)
+		sp.Stop()
+		d.m.blockRead(codec, h.compLen, h.rawLen, reused)
+		return buf, nil
 	}
 	d.src.Reset(comp)
 	if d.fr == nil {
@@ -366,19 +467,56 @@ func (d *blockDecoder) decompress(h blockHeader, comp, buf []byte) ([]byte, erro
 		return nil, corruptf("block decompresses past its declared raw length %d", h.rawLen)
 	}
 	sp.Stop()
-	d.m.blockRead(h.compLen, h.rawLen, reused)
+	d.m.blockRead(codec, h.compLen, h.rawLen, reused)
 	return buf, nil
 }
 
-// decode verifies the compressed payload against the header CRC,
-// decompresses, and decodes the packets into out (appended).
-func (d *blockDecoder) decode(h blockHeader, comp []byte, out []stream.Packet) ([]stream.Packet, error) {
-	raw, err := d.decompress(h, comp, d.raw)
+// decode verifies the stored payload against the header CRC, stages it,
+// and decodes the packets into out (appended).
+func (d *blockDecoder) decode(codec Codec, h blockHeader, comp []byte, out []stream.Packet) ([]stream.Packet, error) {
+	raw, err := d.decompress(codec, h, comp, d.raw)
 	if err != nil {
 		return out, err
 	}
 	d.raw = raw
+	if codec == CodecPacked {
+		return decodeBlockPacked(raw, h.packets, out)
+	}
 	return decodeBlockRaw(raw, h.packets, out)
+}
+
+// blockWalker is the codec dispatch over the fused block walkers: one
+// per reader, resumed across window boundaries. The zero value is
+// exhausted, so the first DecodeInto call always fetches a block.
+type blockWalker struct {
+	codec  Codec
+	enc    encWalker
+	packed packedWalker
+}
+
+// init points the walker at a fresh staged payload of the given codec.
+func (w *blockWalker) init(codec Codec, raw []byte, n int) error {
+	w.codec = codec
+	if codec == CodecPacked {
+		return w.packed.init(raw, n)
+	}
+	return w.enc.init(raw, n)
+}
+
+// exhausted reports whether the walker has no packets left.
+func (w *blockWalker) exhausted() bool {
+	if w.codec == CodecPacked {
+		return w.packed.exhausted()
+	}
+	return w.enc.exhausted()
+}
+
+// decodeInto resumes the fused decode of the current block into pw.
+func (w *blockWalker) decodeInto(pw *stream.PairWindow) (valid, invalid int64, err error) {
+	if w.codec == CodecPacked {
+		return w.packed.decodeInto(pw)
+	}
+	return w.enc.decodeInto(pw)
 }
 
 // archiveIndex is the decoded trailing index: per-block metadata plus the
@@ -390,7 +528,14 @@ type archiveIndex struct {
 	valid   int64 // valid packets in the archive
 }
 
-// encodeIndexPayload serializes the block table as uvarints.
+// encodeIndexPayload serializes the block table as uvarints. When every
+// block uses the original DEFLATE codec, the payload is byte-identical
+// to the pre-codec format; otherwise a run-length codec section —
+// (run length, codec id) uvarint pairs covering all blocks in order —
+// is appended after the entries. Pre-codec readers never see the
+// section (they would reject it as trailing bytes, which is the correct
+// failure for an archive whose codecs they cannot decode), and the new
+// parser treats its absence as all-DEFLATE.
 func encodeIndexPayload(blocks []blockInfo, total, valid int64) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	put := func(dst []byte, v uint64) []byte {
@@ -399,11 +544,27 @@ func encodeIndexPayload(blocks []blockInfo, total, valid int64) []byte {
 	b := put(nil, uint64(len(blocks)))
 	b = put(b, uint64(total))
 	b = put(b, uint64(valid))
+	allDeflate := true
 	for _, bl := range blocks {
 		b = put(b, uint64(bl.packets))
 		b = put(b, uint64(bl.valid))
 		b = put(b, uint64(bl.rawLen))
 		b = put(b, uint64(bl.compLen))
+		if bl.codec != CodecDeflate {
+			allDeflate = false
+		}
+	}
+	if allDeflate {
+		return b
+	}
+	for i := 0; i < len(blocks); {
+		j := i + 1
+		for j < len(blocks) && blocks[j].codec == blocks[i].codec {
+			j++
+		}
+		b = put(b, uint64(j-i))
+		b = put(b, uint64(blocks[i].codec))
+		i = j
 	}
 	return b
 }
@@ -471,6 +632,32 @@ func parseIndexPayload(payload []byte, indexOffset int64) (*archiveIndex, error)
 		offset += 1 + blockHeaderLen + int64(bl.compLen)
 		sumPackets += int64(bl.packets)
 		sumValid += bl.valid
+	}
+	// Codec section: absent for all-DEFLATE archives (the pre-codec
+	// payload, parsed unchanged); otherwise (run, codec) pairs that must
+	// tile the block list exactly.
+	if len(payload) != 0 {
+		covered := uint64(0)
+		for covered < nBlocks {
+			run, err := next()
+			if err != nil {
+				return nil, err
+			}
+			codec, err := next()
+			if err != nil {
+				return nil, err
+			}
+			if run == 0 || run > nBlocks-covered {
+				return nil, corruptf("index: codec run of %d blocks out of range", run)
+			}
+			if codec >= numCodecs {
+				return nil, corruptf("index: unknown codec %d", codec)
+			}
+			for i := covered; i < covered+run; i++ {
+				idx.blocks[i].codec = Codec(codec)
+			}
+			covered += run
+		}
 	}
 	if len(payload) != 0 {
 		return nil, corruptf("index: %d trailing bytes", len(payload))
@@ -543,6 +730,22 @@ type ArchiveInfo struct {
 	// RawBytes and CompressedBytes total the block payloads before and
 	// after compression (headers, index and footer excluded).
 	RawBytes, CompressedBytes int64
+	// DeflateBlocks and PackedBlocks split Blocks by codec.
+	DeflateBlocks, PackedBlocks int
+}
+
+// CodecMix names the archive's codec composition: a single codec name
+// when uniform, or "mixed(deflate:N,packed:M)" for mixed archives.
+func (a ArchiveInfo) CodecMix() string {
+	switch {
+	case a.PackedBlocks == 0:
+		return CodecDeflate.String()
+	case a.DeflateBlocks == 0:
+		return CodecPacked.String()
+	default:
+		return fmt.Sprintf("mixed(%s:%d,%s:%d)",
+			CodecDeflate, a.DeflateBlocks, CodecPacked, a.PackedBlocks)
+	}
 }
 
 // Info reads the footer and index of a seekable archive and returns its
@@ -562,6 +765,11 @@ func Info(r io.ReaderAt, size int64) (ArchiveInfo, error) {
 	for _, bl := range idx.blocks {
 		info.RawBytes += int64(bl.rawLen)
 		info.CompressedBytes += int64(bl.compLen)
+		if bl.codec == CodecPacked {
+			info.PackedBlocks++
+		} else {
+			info.DeflateBlocks++
+		}
 	}
 	return info, nil
 }
@@ -589,9 +797,12 @@ type BlockStat struct {
 	Packets int
 	Valid   int64
 	// RawBytes and CompressedBytes size the payload before and after
-	// compression.
+	// compression (RawBytes is the canonical raw encoding for every
+	// codec, so ratios are comparable across codecs).
 	RawBytes        int
 	CompressedBytes int
+	// Codec is the block's compression scheme.
+	Codec Codec
 }
 
 // InfoFileBlocks summarizes the archive at path like InfoFile and
@@ -620,11 +831,17 @@ func InfoFileBlocks(path string) (ArchiveInfo, []BlockStat, error) {
 	for i, bl := range idx.blocks {
 		info.RawBytes += int64(bl.rawLen)
 		info.CompressedBytes += int64(bl.compLen)
+		if bl.codec == CodecPacked {
+			info.PackedBlocks++
+		} else {
+			info.DeflateBlocks++
+		}
 		stats[i] = BlockStat{
 			Packets:         bl.packets,
 			Valid:           bl.valid,
 			RawBytes:        bl.rawLen,
 			CompressedBytes: bl.compLen,
+			Codec:           bl.codec,
 		}
 	}
 	return info, stats, nil

@@ -33,10 +33,25 @@ type Metrics struct {
 	RawBufReuse *obs.Counter
 	RawBufAlloc *obs.Counter
 
-	// InflateTime spans one block decompression (CRC check included);
-	// DeflateTime spans one block compression.
+	// InflateTime spans one DEFLATE block decompression (CRC check
+	// included); DeflateTime spans one DEFLATE block compression.
 	InflateTime *obs.Timer
 	DeflateTime *obs.Timer
+
+	// PackedBlocksRead / PackedBlocksWritten count the packed-column
+	// subset of BlocksRead / BlocksWritten; the DEFLATE counts are the
+	// difference. PackedReadBytes / PackedWrittenBytes total the stored
+	// packed payload bytes, the packed subset of the compressed totals.
+	PackedBlocksRead    *obs.Counter
+	PackedBlocksWritten *obs.Counter
+	PackedReadBytes     *obs.Counter
+	PackedWrittenBytes  *obs.Counter
+
+	// UnpackTime spans one packed block's CRC check and staging (the
+	// bit-unpack itself is fused into the consumer's decode walk);
+	// PackTime spans one packed block encode.
+	UnpackTime *obs.Timer
+	PackTime   *obs.Timer
 }
 
 // NewMetrics registers the PTRC instrument set against reg (the process
@@ -67,9 +82,21 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		RawBufAlloc: reg.Counter("palu_ptrc_rawbuf_alloc_total",
 			"decompress target buffers allocated or grown"),
 		InflateTime: reg.Timer("palu_ptrc_inflate_ns",
-			"block CRC check + decompression time", 0),
+			"DEFLATE block CRC check + decompression time", 0),
 		DeflateTime: reg.Timer("palu_ptrc_deflate_ns",
-			"block compression time", 0),
+			"DEFLATE block compression time", 0),
+		PackedBlocksRead: reg.Counter("palu_ptrc_packed_blocks_read_total",
+			"packed-column blocks CRC-checked and staged"),
+		PackedBlocksWritten: reg.Counter("palu_ptrc_packed_blocks_written_total",
+			"packed-column blocks encoded and flushed"),
+		PackedReadBytes: reg.Counter("palu_ptrc_packed_read_bytes_total",
+			"stored packed-column payload bytes read"),
+		PackedWrittenBytes: reg.Counter("palu_ptrc_packed_written_bytes_total",
+			"stored packed-column payload bytes written"),
+		UnpackTime: reg.Timer("palu_ptrc_unpack_ns",
+			"packed block CRC check + staging time", 0),
+		PackTime: reg.Timer("palu_ptrc_pack_ns",
+			"packed block encode time", 0),
 	}
 }
 
@@ -91,27 +118,41 @@ func (m *Metrics) crcFailure() {
 	}
 }
 
-func (m *Metrics) inflateStart() obs.Span {
+// decodeStart opens the per-codec decode span: InflateTime for DEFLATE
+// blocks, UnpackTime for packed blocks.
+func (m *Metrics) decodeStart(codec Codec) obs.Span {
 	if m == nil {
 		return obs.Span{}
+	}
+	if codec == CodecPacked {
+		return m.UnpackTime.Start()
 	}
 	return m.InflateTime.Start()
 }
 
-func (m *Metrics) deflateStart() obs.Span {
+// encodeStart opens the per-codec encode span: DeflateTime for DEFLATE
+// blocks, PackTime for packed blocks.
+func (m *Metrics) encodeStart(codec Codec) obs.Span {
 	if m == nil {
 		return obs.Span{}
+	}
+	if codec == CodecPacked {
+		return m.PackTime.Start()
 	}
 	return m.DeflateTime.Start()
 }
 
-func (m *Metrics) blockRead(compLen, rawLen int, reused bool) {
+func (m *Metrics) blockRead(codec Codec, compLen, rawLen int, reused bool) {
 	if m == nil {
 		return
 	}
 	m.BlocksRead.Inc()
 	m.ReadCompressedBytes.Add(int64(compLen))
 	m.ReadRawBytes.Add(int64(rawLen))
+	if codec == CodecPacked {
+		m.PackedBlocksRead.Inc()
+		m.PackedReadBytes.Add(int64(compLen))
+	}
 	if reused {
 		m.RawBufReuse.Inc()
 	} else {
@@ -119,11 +160,15 @@ func (m *Metrics) blockRead(compLen, rawLen int, reused bool) {
 	}
 }
 
-func (m *Metrics) blockWritten(rawLen, compLen int) {
+func (m *Metrics) blockWritten(codec Codec, rawLen, compLen int) {
 	if m == nil {
 		return
 	}
 	m.BlocksWritten.Inc()
 	m.WriteRawBytes.Add(int64(rawLen))
 	m.WriteCompressedBytes.Add(int64(compLen))
+	if codec == CodecPacked {
+		m.PackedBlocksWritten.Inc()
+		m.PackedWrittenBytes.Add(int64(compLen))
+	}
 }

@@ -1,0 +1,568 @@
+package tracestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybridplaw/internal/obs"
+	"hybridplaw/internal/stream"
+	"hybridplaw/internal/xrand"
+)
+
+// writeMixedArchive archives packets alternating the codec per block
+// (even blocks DEFLATE, odd blocks packed) via SetCodec, exercising the
+// mixed-codec index section and both fused walkers in one stream.
+func writeMixedArchive(t *testing.T, ps []stream.Packet, blockSize int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		if i%blockSize == 0 {
+			codec := CodecDeflate
+			if (i/blockSize)%2 == 1 {
+				codec = CodecPacked
+			}
+			if err := w.SetCodec(codec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPackedRoundTripSequential(t *testing.T) {
+	// Sizes around block AND miniblock-group boundaries: a group is 256
+	// packets, so exercise partial groups, exactly one group, one over.
+	const block = 1 << 10
+	for _, n := range []int{1, 2, 255, 256, 257, block - 1, block, block + 1, 3*block + 300} {
+		ps := synthPackets(uint64(n), n, 1000, 7)
+		data := writeArchive(t, ps, WriterOptions{BlockSize: block, Codec: CodecPacked})
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		assertSameTrace(t, drain(t, r), ps)
+	}
+}
+
+func TestPackedRoundTripParallel(t *testing.T) {
+	const block = 300 // deliberately misaligned with the 256-packet group
+	ps := synthPackets(3, 10*block+99, 5000, 11)
+	data := writeArchive(t, ps, WriterOptions{BlockSize: block, Codec: CodecPacked})
+	for _, workers := range []int{1, 2, 4, 7} {
+		r, err := NewParallelReader(bytes.NewReader(data), int64(len(data)),
+			ParallelOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertSameTrace(t, drain(t, r), ps)
+		r.Close()
+	}
+}
+
+// TestPackedRoundTripProperty is the randomized property test over the
+// packed and mixed codecs: random lengths, block sizes, node ranges,
+// invalid densities, and occasional extreme IDs (forcing wide miniblock
+// widths and the overflow-checked unpack path) must round-trip exactly
+// through both readers.
+func TestPackedRoundTripProperty(t *testing.T) {
+	rng := xrand.New(20260808)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(4000)
+		block := 1 + rng.Intn(600)
+		nodes := 1 + rng.Intn(1<<(1+rng.Intn(20)))
+		invalidEvery := rng.Intn(10)
+		ps := synthPackets(rng.Uint64(), n, nodes, invalidEvery)
+		if rng.Bernoulli(0.4) {
+			// Extreme IDs: miniblock references near ^uint32(0) and
+			// max-width fields.
+			for k := 0; k < 8 && k < len(ps); k++ {
+				ps[rng.Intn(len(ps))].Src = ^uint32(0) - uint32(rng.Intn(3))
+				ps[rng.Intn(len(ps))].Dst = ^uint32(0) - uint32(rng.Intn(3))
+			}
+		}
+		var data []byte
+		if rng.Bernoulli(0.5) {
+			data = writeArchive(t, ps, WriterOptions{BlockSize: block, Codec: CodecPacked})
+		} else {
+			data = writeMixedArchive(t, ps, block)
+		}
+
+		seq, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("trial %d (n=%d block=%d): %v", trial, n, block, err)
+		}
+		assertSameTrace(t, drain(t, seq), ps)
+
+		par, err := NewParallelReader(bytes.NewReader(data), int64(len(data)),
+			ParallelOptions{Workers: 1 + rng.Intn(4)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertSameTrace(t, drain(t, par), ps)
+		par.Close()
+	}
+}
+
+// TestValidityRLERoundTrip pins the RLE validity mode: long valid runs
+// (the common case: invalid packets are rare) must select RLE over the
+// raw bitmap and decode identically, including the all-valid,
+// all-invalid and leading-invalid edge cases.
+func TestValidityRLERoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		valid func(i int) bool
+	}{
+		{"all valid", func(int) bool { return true }},
+		{"all invalid", func(int) bool { return false }},
+		{"leading invalid", func(i int) bool { return i >= 100 }},
+		{"sparse invalid", func(i int) bool { return i%997 != 0 }},
+		{"alternating", func(i int) bool { return i%2 == 0 }}, // raw wins
+	}
+	for _, c := range cases {
+		ps := make([]stream.Packet, 2000)
+		for i := range ps {
+			ps[i] = stream.Packet{Src: uint32(i % 37), Dst: uint32(i % 11), Valid: c.valid(i)}
+		}
+		data := writeArchive(t, ps, WriterOptions{BlockSize: 1 << 11, Codec: CodecPacked})
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		assertSameTrace(t, drain(t, r), ps)
+	}
+	// The encoder must pick the smaller form: all-valid packets RLE to a
+	// few bytes, while alternating validity degenerates RLE to ~1 byte
+	// per packet and must fall back to the raw bitmap.
+	allValid := make([]stream.Packet, 1024)
+	for i := range allValid {
+		allValid[i] = stream.Packet{Valid: true}
+	}
+	if v := appendValidity(nil, allValid); len(v) > 8 {
+		t.Errorf("all-valid validity section is %d bytes, want RLE-small", len(v))
+	}
+	alternating := make([]stream.Packet, 1024)
+	for i := range alternating {
+		alternating[i] = stream.Packet{Valid: i%2 == 0}
+	}
+	if v := appendValidity(nil, alternating); len(v) != 1+1024/8 {
+		t.Errorf("alternating validity section is %d bytes, want raw bitmap %d", len(v), 1+1024/8)
+	}
+}
+
+// TestMiniblockProperty pins packMiniblock/decodeMiniblock directly:
+// random value distributions — uniform, heavy-tailed with outliers
+// (exception-heavy), constant (width 0), and near-overflow references —
+// must decode to exactly the packed values and consume the miniblock
+// exactly.
+func TestMiniblockProperty(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(packedGroup)
+		vals := make([]uint32, m)
+		base := uint32(rng.Uint64())
+		switch trial % 4 {
+		case 0: // uniform narrow
+			for i := range vals {
+				vals[i] = base%1000 + uint32(rng.Intn(64))
+			}
+		case 1: // heavy-tailed: mostly narrow, a few huge outliers
+			for i := range vals {
+				vals[i] = uint32(rng.Intn(16))
+				if rng.Bernoulli(0.05) {
+					vals[i] = uint32(rng.Uint64())
+				}
+			}
+		case 2: // constant
+			for i := range vals {
+				vals[i] = base
+			}
+		case 3: // near the uint32 ceiling: ref + mask can overflow
+			for i := range vals {
+				vals[i] = ^uint32(0) - uint32(rng.Intn(1<<rng.Intn(20)))
+			}
+		}
+		enc := packMiniblock(nil, vals)
+		out := make([]uint32, m)
+		pos, err := decodeMiniblock(enc, 0, m, out)
+		if err != nil {
+			t.Fatalf("trial %d (m=%d): decode: %v", trial, m, err)
+		}
+		if pos != len(enc) {
+			t.Fatalf("trial %d: decode consumed %d of %d bytes", trial, pos, len(enc))
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				t.Fatalf("trial %d value %d: got %d, want %d", trial, i, out[i], vals[i])
+			}
+		}
+	}
+}
+
+// TestMixedCodecReplayEquivalence is the codec counterpart of
+// TestFusedReplayEquivalence: the packed and mixed-codec archives must
+// produce byte-identical window artifacts and identical stats to the
+// DEFLATE archive of the same trace, across {1,2,4} workers × {1,2,8}
+// shards, for the sequential fused, sequential unfused and parallel
+// fused paths.
+func TestMixedCodecReplayEquivalence(t *testing.T) {
+	const (
+		n     = 60000
+		block = 1 << 10
+		nv    = 7000
+	)
+	ps := synthPackets(43, n, 3000, 13)
+	archives := map[string][]byte{
+		"deflate": writeArchive(t, ps, WriterOptions{BlockSize: block}),
+		"packed":  writeArchive(t, ps, WriterOptions{BlockSize: block, Codec: CodecPacked}),
+		"mixed":   writeMixedArchive(t, ps, block),
+	}
+
+	run := func(src stream.PacketSource, workers, shards int) (stream.PipelineStats, []byte) {
+		t.Helper()
+		var col stream.ResultCollector
+		cfg := stream.PipelineConfig{NV: nv, Workers: workers, Shards: shards}
+		stats, err := stream.Run(src, cfg, &col)
+		if err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+		}
+		return stats, renderResults(col.Results)
+	}
+
+	refReader, err := NewReader(bytes.NewReader(archives["deflate"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStats, refRendered := run(refReader, 1, 1)
+	if refStats.Windows == 0 {
+		t.Fatal("reference run produced no windows")
+	}
+
+	for name, data := range archives {
+		for _, workers := range []int{1, 2, 4} {
+			for _, shards := range []int{1, 2, 8} {
+				sources := map[string]func() stream.PacketSource{
+					"seq-fused": func() stream.PacketSource {
+						r, err := NewReader(bytes.NewReader(data))
+						if err != nil {
+							t.Fatal(err)
+						}
+						return r
+					},
+					"seq-unfused": func() stream.PacketSource {
+						r, err := NewReader(bytes.NewReader(data))
+						if err != nil {
+							t.Fatal(err)
+						}
+						return unfusedSource{src: r}
+					},
+					"par-fused": func() stream.PacketSource {
+						r, err := NewParallelReader(bytes.NewReader(data), int64(len(data)),
+							ParallelOptions{Workers: 2})
+						if err != nil {
+							t.Fatal(err)
+						}
+						return r
+					},
+				}
+				for path, mk := range sources {
+					stats, rendered := run(mk(), workers, shards)
+					if stats != refStats {
+						t.Errorf("%s/%s workers=%d shards=%d: stats %+v, want %+v",
+							name, path, workers, shards, stats, refStats)
+					}
+					if !bytes.Equal(rendered, refRendered) {
+						t.Errorf("%s/%s workers=%d shards=%d: window artifacts diverge from deflate serial reference",
+							name, path, workers, shards)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedInfo pins the codec surface of the index: per-codec block
+// counts, the CodecMix summary, and per-block codecs in the block
+// table, for uniform and mixed archives.
+func TestPackedInfo(t *testing.T) {
+	ps := synthPackets(21, 2500, 100, 5)
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	deflatePath := write("d.ptrc", writeArchive(t, ps, WriterOptions{BlockSize: 512}))
+	packedPath := write("p.ptrc", writeArchive(t, ps, WriterOptions{BlockSize: 512, Codec: CodecPacked}))
+	mixedPath := write("m.ptrc", writeMixedArchive(t, ps, 512))
+
+	di, err := InfoFile(deflatePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di.PackedBlocks != 0 || di.DeflateBlocks != di.Blocks || di.CodecMix() != "deflate" {
+		t.Errorf("deflate archive info: %+v mix %q", di, di.CodecMix())
+	}
+	pi, blocks, err := InfoFileBlocks(packedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.DeflateBlocks != 0 || pi.PackedBlocks != pi.Blocks || pi.CodecMix() != "packed" {
+		t.Errorf("packed archive info: %+v mix %q", pi, pi.CodecMix())
+	}
+	for i, b := range blocks {
+		if b.Codec != CodecPacked {
+			t.Errorf("packed archive block %d codec = %v", i, b.Codec)
+		}
+	}
+	// RawBytes is the canonical raw encoding for every codec, so the
+	// deflate and packed archives of one trace report identical raw
+	// totals — the invariant that keeps ratios comparable.
+	if pi.RawBytes != di.RawBytes {
+		t.Errorf("packed RawBytes %d != deflate RawBytes %d", pi.RawBytes, di.RawBytes)
+	}
+	mi, mblocks, err := InfoFileBlocks(mixedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.DeflateBlocks == 0 || mi.PackedBlocks == 0 ||
+		mi.DeflateBlocks+mi.PackedBlocks != mi.Blocks {
+		t.Errorf("mixed archive info: %+v", mi)
+	}
+	if !strings.HasPrefix(mi.CodecMix(), "mixed(") {
+		t.Errorf("mixed CodecMix = %q", mi.CodecMix())
+	}
+	for i, b := range mblocks {
+		want := CodecDeflate
+		if i%2 == 1 {
+			want = CodecPacked
+		}
+		if b.Codec != want {
+			t.Errorf("mixed archive block %d codec = %v, want %v", i, b.Codec, want)
+		}
+	}
+	// The parallel reader's Info must agree with the footer path.
+	data, _ := os.ReadFile(mixedPath)
+	pr, err := NewParallelReader(bytes.NewReader(data), int64(len(data)), ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	got := pr.Info()
+	if got.DeflateBlocks != mi.DeflateBlocks || got.PackedBlocks != mi.PackedBlocks {
+		t.Errorf("ParallelReader.Info codec counts %d/%d, want %d/%d",
+			got.DeflateBlocks, got.PackedBlocks, mi.DeflateBlocks, mi.PackedBlocks)
+	}
+}
+
+// TestTranscodePTRC pins the migration path: deflate → packed → deflate
+// preserves the exact packet sequence, and the transcoded archive
+// reports the expected codec.
+func TestTranscodePTRC(t *testing.T) {
+	ps := synthPackets(23, 5000, 2000, 6)
+	orig := writeArchive(t, ps, WriterOptions{BlockSize: 512})
+
+	var packed bytes.Buffer
+	n, err := TranscodePTRC(bytes.NewReader(orig), &packed,
+		WriterOptions{BlockSize: 512, Codec: CodecPacked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(ps)) {
+		t.Fatalf("transcode converted %d packets, want %d", n, len(ps))
+	}
+	info, err := Info(bytes.NewReader(packed.Bytes()), int64(packed.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CodecMix() != "packed" {
+		t.Errorf("transcoded codec mix = %q", info.CodecMix())
+	}
+	r, err := NewReader(bytes.NewReader(packed.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTrace(t, drain(t, r), ps)
+
+	var back bytes.Buffer
+	if _, err := TranscodePTRC(bytes.NewReader(packed.Bytes()), &back,
+		WriterOptions{BlockSize: 512}); err != nil {
+		t.Fatal(err)
+	}
+	// Same packets, same block size, same codec: the round-tripped
+	// archive is byte-identical to the original.
+	if !bytes.Equal(back.Bytes(), orig) {
+		t.Error("deflate → packed → deflate transcode is not byte-identical")
+	}
+}
+
+// TestPackedCorruption runs the damaged-archive invariants over packed
+// and mixed archives: truncations and bit flips must surface as
+// ErrCorrupt from both readers, never a panic or silent misread.
+func TestPackedCorruption(t *testing.T) {
+	ps := synthPackets(31, 3000, 500, 8)
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"packed", writeArchive(t, ps, WriterOptions{BlockSize: 512, Codec: CodecPacked})},
+		{"mixed", writeMixedArchive(t, ps, 512)},
+	} {
+		data := tc.data
+		for _, keep := range []int{40, len(data) / 2, len(data) - footerLen} {
+			trunc := data[:keep]
+			expectCorrupt(t, tc.name+"/truncated-seq", sequentialErr(trunc))
+			expectCorrupt(t, tc.name+"/truncated-par", parallelErr(trunc))
+		}
+		for _, at := range []int{
+			len(fileMagic) + 1 + blockHeaderLen + 2,  // validity section
+			len(fileMagic) + 1 + blockHeaderLen + 40, // miniblock body
+			len(fileMagic) + 1 + 12,                  // header CRC field
+		} {
+			mutated := append([]byte(nil), data...)
+			mutated[at] ^= 0xFF
+			expectCorrupt(t, tc.name+"/flip-seq", sequentialErr(mutated))
+			expectCorrupt(t, tc.name+"/flip-par", parallelErr(mutated))
+		}
+	}
+}
+
+// TestBlockHeaderCodecPlausibility pins the generalized plausibility
+// bound (the PR 5 bugfix target): a header whose claimed raw length is
+// plausible under DEFLATE's 1032x expansion cap but not under the
+// packed codec's tighter cap must be rejected when the tag says packed,
+// so a corrupt packed header cannot trigger a DEFLATE-sized allocation.
+func TestBlockHeaderCodecPlausibility(t *testing.T) {
+	var b [blockHeaderLen]byte
+	h := blockHeader{packets: 1000, rawLen: 8000, compLen: 10, crc: 0}
+	putBlockHeader(b[:], h)
+	if _, err := parseBlockHeader(b[:], CodecDeflate); err != nil {
+		t.Errorf("deflate header within 1032x rejected: %v", err)
+	}
+	expectCorrupt(t, "packed header beyond 512x", func() error {
+		_, err := parseBlockHeader(b[:], CodecPacked)
+		return err
+	}())
+	// And an in-stream pin: flip a packed block's tag to the DEFLATE tag
+	// — the payload is not valid DEFLATE, and the reader must fail
+	// cleanly rather than misinterpret it.
+	ps := synthPackets(33, 1000, 200, 0)
+	data := writeArchive(t, ps, WriterOptions{BlockSize: 512, Codec: CodecPacked})
+	mutated := append([]byte(nil), data...)
+	mutated[len(fileMagic)] = tagBlock
+	expectCorrupt(t, "packed block retagged deflate (seq)", sequentialErr(mutated))
+	expectCorrupt(t, "packed block retagged deflate (par)", parallelErr(mutated))
+}
+
+// TestMetricsPacked pins the per-codec metrics split: a packed archive
+// lands every block in the packed counters and timers, none in the
+// DEFLATE ones, and the canonical-raw accounting invariant
+// (ReadRawBytes == info.RawBytes) holds for the packed codec too.
+func TestMetricsPacked(t *testing.T) {
+	ps := synthPackets(25, 3000, 200, 7)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+
+	var buf bytes.Buffer
+	if _, err := Record(&buf, stream.NewSliceSource(ps), WriterOptions{
+		BlockSize: 512, Codec: CodecPacked, Metrics: m,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Info(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PackedBlocksWritten.Value(); got != int64(info.Blocks) {
+		t.Errorf("packed blocks written = %d, want %d", got, info.Blocks)
+	}
+	if got := m.PackTime.Spans(); got != int64(info.Blocks) {
+		t.Errorf("pack spans = %d, want %d", got, info.Blocks)
+	}
+	if got := m.DeflateTime.Spans(); got != 0 {
+		t.Errorf("deflate spans = %d on a packed archive", got)
+	}
+	if got := m.WriteRawBytes.Value(); got != info.RawBytes {
+		t.Errorf("write raw bytes = %d, index says %d", got, info.RawBytes)
+	}
+	if got := m.PackedWrittenBytes.Value(); got != info.CompressedBytes {
+		t.Errorf("packed written bytes = %d, index says %d", got, info.CompressedBytes)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetMetrics(m)
+	w := stream.NewPairWindow(2, 1<<20)
+	for {
+		if _, _, _, ok := r.DecodeInto(w); !ok {
+			break
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if got := m.PackedBlocksRead.Value(); got != int64(info.Blocks) {
+		t.Errorf("packed blocks read = %d, want %d", got, info.Blocks)
+	}
+	if got := m.UnpackTime.Spans(); got != int64(info.Blocks) {
+		t.Errorf("unpack spans = %d, want %d", got, info.Blocks)
+	}
+	if got := m.InflateTime.Spans(); got != 0 {
+		t.Errorf("inflate spans = %d on a packed archive", got)
+	}
+	if got := m.ReadRawBytes.Value(); got != info.RawBytes {
+		t.Errorf("read raw bytes = %d, want %d", got, info.RawBytes)
+	}
+	if got := m.PackedReadBytes.Value(); got != info.CompressedBytes {
+		t.Errorf("packed read bytes = %d, want %d", got, info.CompressedBytes)
+	}
+}
+
+// TestPackedSmallerAndLegacyIdentical pins the two compatibility
+// acceptance criteria: default options still produce byte-identical
+// pre-codec archives, and the packed archive of a replay-benchmark
+// trace shape (uniform random IDs with a hot destination subset, the
+// palu-bench synthTrace distribution the 1.25x size budget is defined
+// on) stays within 1.25x of the DEFLATE archive. Traces with heavy
+// verbatim pair repetition compress further under DEFLATE's LZ77 than
+// any per-column FOR can — that trade is the point of the codec, and
+// the budget is pinned on the distribution the acceptance names.
+func TestPackedSmallerAndLegacyIdentical(t *testing.T) {
+	ps := synthPackets(27, 40000, 8192, 9)
+	a := writeArchive(t, ps, WriterOptions{BlockSize: 4096})
+	b := writeArchive(t, ps, WriterOptions{BlockSize: 4096, Codec: CodecDeflate})
+	if !bytes.Equal(a, b) {
+		t.Error("zero-value WriterOptions no longer byte-identical to explicit CodecDeflate")
+	}
+
+	rng := xrand.New(20260807)
+	bench := make([]stream.Packet, 40000)
+	for i := range bench {
+		p := stream.Packet{Src: uint32(rng.Intn(1 << 13)), Dst: uint32(rng.Intn(1 << 13)), Valid: true}
+		if rng.Intn(4) == 0 {
+			p.Dst = uint32(rng.Intn(16))
+		}
+		bench[i] = p
+	}
+	deflate := writeArchive(t, bench, WriterOptions{BlockSize: 4096})
+	packed := writeArchive(t, bench, WriterOptions{BlockSize: 4096, Codec: CodecPacked})
+	if limit := len(deflate) + len(deflate)/4; len(packed) > limit {
+		t.Errorf("packed archive %d bytes exceeds 1.25x deflate %d", len(packed), len(deflate))
+	}
+}

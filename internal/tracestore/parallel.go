@@ -50,19 +50,21 @@ type ParallelReader struct {
 
 	buf  []stream.Packet
 	i    int
-	walk encWalker
+	walk blockWalker
 	wraw []byte // raw buffer behind walk, recycled when exhausted
 	read int64
 	err  error
 	done bool
 }
 
-// parallelBlock is one decompressed block in flight from the worker pool
-// to the consumer: the raw payload (bitmap + uvarint pairs) and its
-// packet count, not yet decoded.
+// parallelBlock is one staged block in flight from the worker pool to
+// the consumer: the working payload (inflated raw encoding for DEFLATE
+// blocks, the packed payload for packed blocks), its packet count and
+// codec, not yet decoded.
 type parallelBlock struct {
 	raw     []byte
 	packets int
+	codec   Codec
 	err     error
 }
 
@@ -151,17 +153,17 @@ func NewParallelReader(r io.ReaderAt, size int64, opts ParallelOptions) (*Parall
 					rec = make([]byte, n)
 				}
 				rec = rec[:n]
-				out := parallelBlock{}
+				out := parallelBlock{codec: bl.codec}
 				if _, err := r.ReadAt(rec, idx.offsets[i]); err != nil {
 					out.err = corruptf("reading block %d: %v", i, err)
-				} else if rec[0] != tagBlock {
-					out.err = corruptf("block %d: expected block tag, found 0x%02x", i, rec[0])
-				} else if h, err := parseBlockHeader(rec[1:]); err != nil {
+				} else if rec[0] != tagForCodec(bl.codec) {
+					out.err = corruptf("block %d: expected %s block tag, found 0x%02x", i, bl.codec, rec[0])
+				} else if h, err := parseBlockHeader(rec[1:], bl.codec); err != nil {
 					out.err = err
 				} else if h.packets != bl.packets || h.compLen != bl.compLen {
 					out.err = corruptf("block %d header disagrees with index", i)
 				} else {
-					out.raw, out.err = dec.decompress(h, rec[1+blockHeaderLen:], p.takeRaw())
+					out.raw, out.err = dec.decompress(bl.codec, h, rec[1+blockHeaderLen:], p.takeRaw())
 					out.packets = h.packets
 				}
 				select {
@@ -264,7 +266,11 @@ func (p *ParallelReader) fill() bool {
 			return false
 		}
 		var err error
-		p.buf, err = decodeBlockRaw(b.raw, b.packets, p.buf[:0])
+		if b.codec == CodecPacked {
+			p.buf, err = decodeBlockPacked(b.raw, b.packets, p.buf[:0])
+		} else {
+			p.buf, err = decodeBlockRaw(b.raw, b.packets, p.buf[:0])
+		}
 		p.putRaw(b.raw)
 		if err != nil {
 			p.done = true
@@ -317,7 +323,7 @@ func (p *ParallelReader) DecodeInto(w *stream.PairWindow) (valid, invalid int64,
 		if !okb {
 			return 0, 0, false, false
 		}
-		if err := p.walk.init(b.raw, b.packets); err != nil {
+		if err := p.walk.init(b.codec, b.raw, b.packets); err != nil {
 			p.done = true
 			p.err = err
 			p.putRaw(b.raw)
@@ -369,6 +375,11 @@ func (p *ParallelReader) Info() ArchiveInfo {
 	for _, bl := range p.idx.blocks {
 		info.RawBytes += int64(bl.rawLen)
 		info.CompressedBytes += int64(bl.compLen)
+		if bl.codec == CodecPacked {
+			info.PackedBlocks++
+		} else {
+			info.DeflateBlocks++
+		}
 	}
 	return info
 }

@@ -1,6 +1,7 @@
 package tracestore
 
 import (
+	"bytes"
 	"encoding/binary"
 	"hash/crc32"
 	"io"
@@ -16,19 +17,20 @@ import (
 // its index — always surfaces as an error rather than a silently short
 // trace.
 type Reader struct {
-	r      io.Reader
-	dec    blockDecoder
-	hdr    [1 + blockHeaderLen]byte
-	comp   []byte
-	buf    []stream.Packet
-	walk   encWalker
-	i      int
-	off    int64 // bytes consumed from r
-	read   int64
-	valid  int64
-	blocks int64
-	err    error
-	done   bool
+	r       io.Reader
+	dec     blockDecoder
+	hdr     [1 + blockHeaderLen]byte
+	comp    []byte
+	buf     []stream.Packet
+	walk    blockWalker
+	i       int
+	off     int64 // bytes consumed from r
+	read    int64
+	valid   int64
+	blocks  int64
+	byCodec [numCodecs]int64 // blocks read per codec, checked vs index
+	err     error
+	done    bool
 }
 
 // NewReader checks the file magic and returns a sequential reader over
@@ -101,10 +103,11 @@ func (r *Reader) NextBlock() ([]stream.Packet, bool) {
 	return blk, true
 }
 
-// readRecord reads the next record's tag, header and compressed payload
-// (into r.comp). ok = false at end of stream — the index record was
-// consumed and verified by finish — or on error (r.err set).
-func (r *Reader) readRecord() (blockHeader, bool) {
+// readRecord reads the next record's tag, header and stored payload
+// (into r.comp), returning the header and the codec named by the tag.
+// ok = false at end of stream — the index record was consumed and
+// verified by finish — or on error (r.err set).
+func (r *Reader) readRecord() (blockHeader, Codec, bool) {
 	tagOff := r.off
 	if err := r.readFull(r.hdr[:1]); err != nil {
 		if err == io.EOF {
@@ -112,47 +115,48 @@ func (r *Reader) readRecord() (blockHeader, bool) {
 		} else {
 			r.err = err
 		}
-		return blockHeader{}, false
+		return blockHeader{}, 0, false
 	}
-	switch r.hdr[0] {
-	case tagBlock:
-		if err := r.readFull(r.hdr[1:]); err != nil {
-			r.err = corruptf("truncated block header: %v", err)
-			return blockHeader{}, false
-		}
-		h, err := parseBlockHeader(r.hdr[1:])
-		if err != nil {
-			r.err = err
-			return blockHeader{}, false
-		}
-		if cap(r.comp) < h.compLen {
-			r.comp = make([]byte, h.compLen)
-		}
-		r.comp = r.comp[:h.compLen]
-		if err := r.readFull(r.comp); err != nil {
-			r.err = corruptf("truncated block payload: %v", err)
-			return blockHeader{}, false
-		}
-		r.blocks++
-		return h, true
-	case tagIndex:
+	if r.hdr[0] == tagIndex {
 		r.finish(tagOff)
-		return blockHeader{}, false
-	default:
-		r.err = corruptf("unknown record tag 0x%02x after %d blocks", r.hdr[0], r.blocks)
-		return blockHeader{}, false
+		return blockHeader{}, 0, false
 	}
+	codec, ok := codecForTag(r.hdr[0])
+	if !ok {
+		r.err = corruptf("unknown record tag 0x%02x after %d blocks", r.hdr[0], r.blocks)
+		return blockHeader{}, 0, false
+	}
+	if err := r.readFull(r.hdr[1:]); err != nil {
+		r.err = corruptf("truncated block header: %v", err)
+		return blockHeader{}, 0, false
+	}
+	h, err := parseBlockHeader(r.hdr[1:], codec)
+	if err != nil {
+		r.err = err
+		return blockHeader{}, 0, false
+	}
+	if cap(r.comp) < h.compLen {
+		r.comp = make([]byte, h.compLen)
+	}
+	r.comp = r.comp[:h.compLen]
+	if err := r.readFull(r.comp); err != nil {
+		r.err = corruptf("truncated block payload: %v", err)
+		return blockHeader{}, 0, false
+	}
+	r.blocks++
+	r.byCodec[codec]++
+	return h, codec, true
 }
 
 // nextBlock reads the next record: a block refills the packet buffer; the
 // index record ends the stream after verifying the totals and footer.
 func (r *Reader) nextBlock() {
-	h, ok := r.readRecord()
+	h, codec, ok := r.readRecord()
 	if !ok {
 		return
 	}
 	var err error
-	r.buf, err = r.dec.decode(h, r.comp, r.buf[:0])
+	r.buf, err = r.dec.decode(codec, h, r.comp, r.buf[:0])
 	if err != nil {
 		r.err = err
 		r.buf = r.buf[:0]
@@ -161,25 +165,27 @@ func (r *Reader) nextBlock() {
 	r.i = 0
 }
 
-// DecodeInto implements stream.EncodedBlockSource: it decompresses the
-// next block (or resumes the current one) and decodes its uvarint pairs
-// directly into w — the fused one-pass replay path, no []stream.Packet
-// materialization. DecodeInto must not be interleaved with Next or
-// NextBlock on the same Reader: both paths consume the same underlying
-// record sequence but buffer independently.
+// DecodeInto implements stream.EncodedBlockSource: it stages the next
+// block (or resumes the current one) and decodes its pairs directly
+// into w — the fused one-pass replay path, no []stream.Packet
+// materialization. DEFLATE blocks walk uvarint pairs; packed blocks
+// deposit keys straight from the bit-packed columns. DecodeInto must
+// not be interleaved with Next or NextBlock on the same Reader: both
+// paths consume the same underlying record sequence but buffer
+// independently.
 func (r *Reader) DecodeInto(w *stream.PairWindow) (valid, invalid int64, full, ok bool) {
 	if r.walk.exhausted() {
-		h, okr := r.readRecord()
+		h, codec, okr := r.readRecord()
 		if !okr {
 			return 0, 0, false, false
 		}
-		raw, err := r.dec.decompress(h, r.comp, r.dec.raw)
+		raw, err := r.dec.decompress(codec, h, r.comp, r.dec.raw)
 		if err != nil {
 			r.err = err
 			return 0, 0, false, false
 		}
 		r.dec.raw = raw
-		if err := r.walk.init(raw, h.packets); err != nil {
+		if err := r.walk.init(codec, raw, h.packets); err != nil {
 			r.err = err
 			return 0, 0, false, false
 		}
@@ -210,11 +216,19 @@ func (r *Reader) finish(tagOff int64) {
 		r.err = corruptf("index length %d out of range", n)
 		return
 	}
-	payload := make([]byte, n)
-	if err := r.readFull(payload); err != nil {
+	// Copy the payload incrementally rather than allocating the claimed
+	// length up front: a corrupt length field on a sequential stream
+	// (whose true size is unknowable here) must not be able to force a
+	// gigabyte-scale allocation — the same plausibility discipline the
+	// block headers get, applied to the index record.
+	var pbuf bytes.Buffer
+	m, err := io.CopyN(&pbuf, r.r, int64(n))
+	r.off += m
+	if err != nil {
 		r.err = corruptf("truncated index payload: %v", err)
 		return
 	}
+	payload := pbuf.Bytes()
 	if crc := crc32.Checksum(payload, crcTable); crc != want {
 		r.err = corruptf("index CRC mismatch: stored %08x, computed %08x", want, crc)
 		return
@@ -227,6 +241,14 @@ func (r *Reader) finish(tagOff int64) {
 	if int64(len(idx.blocks)) != r.blocks || idx.total != r.read || idx.valid != r.valid {
 		r.err = corruptf("index claims %d blocks / %d packets (%d valid), stream delivered %d / %d (%d)",
 			len(idx.blocks), idx.total, idx.valid, r.blocks, r.read, r.valid)
+		return
+	}
+	var idxByCodec [numCodecs]int64
+	for _, bl := range idx.blocks {
+		idxByCodec[bl.codec]++
+	}
+	if idxByCodec != r.byCodec {
+		r.err = corruptf("index codec mix %v disagrees with stream %v", idxByCodec, r.byCodec)
 		return
 	}
 	var footer [footerLen]byte

@@ -19,10 +19,13 @@ type WriterOptions struct {
 	// DefaultBlockSize.
 	BlockSize int
 	// Level is the DEFLATE compression level (flate.BestSpeed .. 9);
-	// 0 selects flate.DefaultCompression.
+	// 0 selects flate.DefaultCompression. Ignored by CodecPacked.
 	Level int
+	// Codec selects the block codec. The zero value is CodecDeflate, so
+	// pre-codec configurations produce byte-identical archives.
+	Codec Codec
 	// Metrics, when non-nil, instruments the writer (blocks written,
-	// deflate time, raw/compressed byte totals).
+	// per-codec encode time, raw/compressed byte totals).
 	Metrics *Metrics
 }
 
@@ -39,6 +42,9 @@ func (o WriterOptions) normalize() (WriterOptions, error) {
 	if o.Level < flate.HuffmanOnly || o.Level > flate.BestCompression {
 		return o, fmt.Errorf("tracestore: invalid compression level %d", o.Level)
 	}
+	if o.Codec >= numCodecs {
+		return o, fmt.Errorf("tracestore: unknown codec %d", o.Codec)
+	}
 	return o, nil
 }
 
@@ -51,6 +57,7 @@ func (o WriterOptions) normalize() (WriterOptions, error) {
 type Writer struct {
 	w       io.Writer
 	opts    WriterOptions
+	codec   Codec // codec for the next flushed block (see SetCodec)
 	buf     []stream.Packet
 	raw     []byte
 	rec     bytes.Buffer
@@ -75,16 +82,29 @@ func NewWriter(w io.Writer, opts WriterOptions) (*Writer, error) {
 		return nil, err
 	}
 	tw := &Writer{
-		w:    w,
-		opts: opts,
-		buf:  make([]stream.Packet, 0, opts.BlockSize),
-		fw:   fw,
+		w:     w,
+		opts:  opts,
+		codec: opts.Codec,
+		buf:   make([]stream.Packet, 0, opts.BlockSize),
+		fw:    fw,
 	}
 	if _, err := io.WriteString(w, fileMagic); err != nil {
 		tw.err = err
 		return nil, err
 	}
 	return tw, nil
+}
+
+// SetCodec changes the codec used for blocks flushed from now on —
+// including the currently buffered partial block — making mixed-codec
+// archives writable without reopening the writer. It returns an error
+// only for an unknown codec.
+func (w *Writer) SetCodec(c Codec) error {
+	if c >= numCodecs {
+		return fmt.Errorf("tracestore: unknown codec %d", c)
+	}
+	w.codec = c
+	return nil
 }
 
 // Write archives one packet.
@@ -125,23 +145,30 @@ func (w *Writer) RecordFrom(src stream.PacketSource) (int64, error) {
 }
 
 // flushBlock encodes, compresses and writes the buffered packets as one
-// block record.
+// block record under the writer's current codec.
 func (w *Writer) flushBlock() error {
-	w.raw = encodeBlockRaw(w.raw[:0], w.buf)
-
+	codec := w.codec
 	w.rec.Reset()
-	w.rec.WriteByte(tagBlock)
+	w.rec.WriteByte(tagForCodec(codec))
 	var hdr [blockHeaderLen]byte
 	w.rec.Write(hdr[:]) // patched below once compLen and CRC are known
-	sp := w.opts.Metrics.deflateStart()
-	w.fw.Reset(&w.rec)
-	if _, err := w.fw.Write(w.raw); err != nil {
-		w.err = err
-		return err
-	}
-	if err := w.fw.Close(); err != nil {
-		w.err = err
-		return err
+	var rawLen int
+	sp := w.opts.Metrics.encodeStart(codec)
+	if codec == CodecPacked {
+		w.raw, rawLen = encodeBlockPacked(w.raw[:0], w.buf)
+		w.rec.Write(w.raw)
+	} else {
+		w.raw = encodeBlockRaw(w.raw[:0], w.buf)
+		rawLen = len(w.raw)
+		w.fw.Reset(&w.rec)
+		if _, err := w.fw.Write(w.raw); err != nil {
+			w.err = err
+			return err
+		}
+		if err := w.fw.Close(); err != nil {
+			w.err = err
+			return err
+		}
 	}
 	sp.Stop()
 
@@ -150,8 +177,9 @@ func (w *Writer) flushBlock() error {
 	info := blockInfo{
 		packets: len(w.buf),
 		valid:   w.valid - w.flushed,
-		rawLen:  len(w.raw),
+		rawLen:  rawLen,
 		compLen: len(comp),
+		codec:   codec,
 	}
 	w.flushed = w.valid
 	putBlockHeader(rec[1:], blockHeader{
@@ -164,7 +192,7 @@ func (w *Writer) flushBlock() error {
 		w.err = err
 		return err
 	}
-	w.opts.Metrics.blockWritten(info.rawLen, info.compLen)
+	w.opts.Metrics.blockWritten(codec, info.rawLen, info.compLen)
 	w.blocks = append(w.blocks, info)
 	w.buf = w.buf[:0]
 	return nil
