@@ -1,20 +1,25 @@
 // Command palu-bench runs the repo's pinned hot-path benchmarks —
 // streaming window reduce (a worker × shard matrix plus the legacy
 // serial/sharded pins), PTRC archive replay (sequential and parallel
-// decode, per block codec), and model fitting — and writes a
-// machine-readable JSON record. BENCH_PR8.json at the repo root is the
-// committed perf trajectory; CI re-runs the suite and compares against
-// it benchstat-style. The suite runs instrumented (internal/obs) and
-// v3+ records embed the resulting metrics snapshot, so every committed
-// record also documents the workload's exact block/window/packet
-// accounting. v4 records add the codec dimension: each replay entry
-// names its block codec and archive size, pricing the packed codec's
-// size/speed trade against DEFLATE on identical traces.
+// decode, per block codec), PTRC recording and transcoding (write-side
+// codec × writer-workers matrix plus the index-driven passthrough), and
+// model fitting — and writes a machine-readable JSON record.
+// BENCH_PR9.json at the repo root is the committed perf trajectory; CI
+// re-runs the suite and compares against it benchstat-style. The suite
+// runs instrumented (internal/obs) and v3+ records embed the resulting
+// metrics snapshot, so every committed record also documents the
+// workload's exact block/window/packet accounting. v4 records add the
+// codec dimension: each replay entry names its block codec and archive
+// size, pricing the packed codec's size/speed trade against DEFLATE on
+// identical traces. v5 records add the write path: per-codec record
+// benchmarks across writer worker counts (archives are byte-identical
+// at any count, so ArchiveBytes doubles as an equivalence witness) and
+// archive-to-archive transcode benchmarks, passthrough and recode.
 //
 // Usage:
 //
-//	palu-bench -out BENCH_PR8.json                    # run + record
-//	palu-bench -out /tmp/b.json -compare BENCH_PR8.json -max-regression 5
+//	palu-bench -out BENCH_PR9.json                    # run + record
+//	palu-bench -out /tmp/b.json -compare BENCH_PR9.json -max-regression 5
 //	palu-bench -packets 500000 -replay-packets 200000 # smaller workloads
 //	palu-bench -metrics - -cpuprofile cpu.pb.gz       # snapshot + profile
 //
@@ -83,14 +88,19 @@ const (
 	schemaV1 = "palu-bench-v1" // pre-matrix records: no per-entry CPUs
 	schemaV2 = "palu-bench-v2" // pre-obs records: no metrics snapshot
 	schemaV3 = "palu-bench-v3" // pre-codec records: deflate-only replay
-	schemaV4 = "palu-bench-v4"
+	schemaV4 = "palu-bench-v4" // pre-write-path records: replay/fit only
+	schemaV5 = "palu-bench-v5"
 )
 
 // matrixWorkers × matrixShards is the pipeline benchmark grid. The
 // {1,1} point doubles as the legacy pipeline-reduce-serial pin.
+// recordWorkers is the write-side matrix: each codec is recorded at
+// every worker count (w1 = the serial writer; the archives are
+// byte-identical at any count, only the wall time moves).
 var (
 	matrixWorkers = []int{1, 2, 4}
 	matrixShards  = []int{1, 4, 8}
+	recordWorkers = []int{1, 2, 4}
 )
 
 // measure runs fn repeatedly (after one warm-up) until minTime has
@@ -169,7 +179,7 @@ type suiteConfig struct {
 // the hot path as shipped (the overhead gate in the root test suite
 // separately bounds the instrumented/stripped ratio).
 func runSuite(cfg suiteConfig) (Record, error) {
-	rec := Record{Schema: schemaV4, Go: runtime.Version(), CPUs: runtime.NumCPU()}
+	rec := Record{Schema: schemaV5, Go: runtime.Version(), CPUs: runtime.NumCPU()}
 	obsReg := cfg.obs
 	if obsReg == nil {
 		obsReg = obs.NewRegistry()
@@ -245,6 +255,7 @@ func runSuite(cfg suiteConfig) (Record, error) {
 	if replayNV < 1 {
 		replayNV = 1
 	}
+	archives := make(map[tracestore.Codec][]byte, 2)
 	for _, codec := range []tracestore.Codec{tracestore.CodecDeflate, tracestore.CodecPacked} {
 		var archive bytes.Buffer
 		if _, err := tracestore.Record(&archive, newSynthTrace(3, cfg.replayPackets, nodes),
@@ -252,6 +263,7 @@ func runSuite(cfg suiteConfig) (Record, error) {
 			return rec, err
 		}
 		raw := archive.Bytes()
+		archives[codec] = raw
 		suffix := ""
 		if codec != tracestore.CodecDeflate {
 			suffix = "-" + codec.String()
@@ -282,6 +294,53 @@ func runSuite(cfg suiteConfig) (Record, error) {
 		})
 		b.Codec, b.ArchiveBytes = codec.String(), uint64(len(raw))
 		b.MBPerS = float64(len(raw)) / (b.NsPerOp / 1e9) / 1e6
+		if err := add(b, err); err != nil {
+			return rec, err
+		}
+
+		// Record matrix: the same trace archived at each writer worker
+		// count. The archives are byte-identical at every count (pinned by
+		// the tracestore test suite), so ArchiveBytes must match the replay
+		// entries' exactly — a compare that sees it move caught a codec or
+		// framing change, not a perf change.
+		for _, workers := range recordWorkers {
+			var sink bytes.Buffer
+			b, err := measure(fmt.Sprintf("ptrc-record-w%d%s", workers, suffix),
+				cfg.minTime, cfg.maxIters, func() error {
+					sink.Reset()
+					_, err := tracestore.Record(&sink, newSynthTrace(3, cfg.replayPackets, nodes),
+						tracestore.WriterOptions{Metrics: tm, Codec: codec, Workers: workers})
+					return err
+				})
+			b.Codec, b.Workers, b.ArchiveBytes = codec.String(), workers, uint64(sink.Len())
+			b.MPacketsPerS = float64(cfg.replayPackets) / (b.NsPerOp / 1e9) / 1e6
+			if err := add(b, err); err != nil {
+				return rec, err
+			}
+		}
+	}
+
+	// Transcode: archive-to-archive rewrites of the deflate archive. The
+	// passthrough entry re-frames compressed blocks straight off the
+	// index (same codec and geometry, no inflate); the recode entry pays
+	// the full decode + packed re-encode through the bulk block path.
+	srcRaw := archives[tracestore.CodecDeflate]
+	for _, tc := range []struct {
+		name  string
+		codec tracestore.Codec
+	}{
+		{"ptrc-transcode-passthrough", tracestore.CodecDeflate},
+		{"ptrc-transcode-recode", tracestore.CodecPacked},
+	} {
+		var sink bytes.Buffer
+		b, err := measure(tc.name, cfg.minTime, cfg.maxIters, func() error {
+			sink.Reset()
+			_, err := tracestore.TranscodeArchive(bytes.NewReader(srcRaw), int64(len(srcRaw)),
+				&sink, tracestore.WriterOptions{Metrics: tm, Codec: tc.codec})
+			return err
+		})
+		b.Codec, b.ArchiveBytes = tc.codec.String(), uint64(sink.Len())
+		b.MBPerS = float64(len(srcRaw)) / (b.NsPerOp / 1e9) / 1e6
 		if err := add(b, err); err != nil {
 			return rec, err
 		}
@@ -400,7 +459,7 @@ func readRecord(path string) (Record, error) {
 		return Record{}, fmt.Errorf("%s: %w", path, err)
 	}
 	switch rec.Schema {
-	case schemaV1, schemaV2, schemaV3, schemaV4:
+	case schemaV1, schemaV2, schemaV3, schemaV4, schemaV5:
 	default:
 		return Record{}, fmt.Errorf("%s: unknown schema %q", path, rec.Schema)
 	}
@@ -410,7 +469,7 @@ func readRecord(path string) (Record, error) {
 func run(args []string, logger *log.Logger) error {
 	fs := flag.NewFlagSet("palu-bench", flag.ContinueOnError)
 	var (
-		out           = fs.String("out", "BENCH_PR8.json", "output JSON path")
+		out           = fs.String("out", "BENCH_PR9.json", "output JSON path")
 		comparePath   = fs.String("compare", "", "baseline JSON to compare against (benchstat-style ratios)")
 		maxRegression = fs.Float64("max-regression", 0, "fail when any same-hardware ns/op or any allocs/op ratio vs the baseline exceeds this factor (0 = report only)")
 		packets       = fs.Int64("packets", 2_000_000, "pipeline benchmark trace length in packets")

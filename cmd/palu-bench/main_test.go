@@ -30,8 +30,8 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.Schema != schemaV4 {
-		t.Errorf("schema = %q, want %q", rec.Schema, schemaV4)
+	if rec.Schema != schemaV5 {
+		t.Errorf("schema = %q, want %q", rec.Schema, schemaV5)
 	}
 	// v3+ embeds the instrumented suite's snapshot; the deterministic
 	// counters must show the workload actually ran — including the packed
@@ -55,7 +55,10 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 		"pipeline-w2-s1", "pipeline-w2-s4", "pipeline-w2-s8",
 		"pipeline-w4-s1", "pipeline-w4-s4", "pipeline-w4-s8",
 		"ptrc-replay-sequential", "ptrc-replay-parallel",
+		"ptrc-record-w1", "ptrc-record-w2", "ptrc-record-w4",
 		"ptrc-replay-sequential-packed", "ptrc-replay-parallel-packed",
+		"ptrc-record-w1-packed", "ptrc-record-w2-packed", "ptrc-record-w4-packed",
+		"ptrc-transcode-passthrough", "ptrc-transcode-recode",
 		"fit-zm", "fit-registry",
 	}
 	if len(rec.Results) != len(want) {
@@ -94,6 +97,37 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 	if deflateBytes == 0 || packedBytes == 0 || deflateBytes == packedBytes {
 		t.Errorf("replay matrix archive sizes deflate=%d packed=%d: want both codecs, distinct sizes",
 			deflateBytes, packedBytes)
+	}
+
+	// v5 write-path entries: every record benchmark names its worker
+	// count and produces an archive byte-identical to the replay
+	// archive of the same codec (the pipelined writer's equivalence
+	// guarantee showing up in the committed record); the passthrough
+	// transcode reproduces the deflate archive byte count exactly, and
+	// the recode transcode lands on the packed one.
+	for _, b := range rec.Results {
+		switch {
+		case strings.HasPrefix(b.Name, "ptrc-record"):
+			if b.Workers < 1 {
+				t.Errorf("%s: writer worker count %d not recorded", b.Name, b.Workers)
+			}
+			want := deflateBytes
+			if b.Codec == "packed" {
+				want = packedBytes
+			}
+			if b.ArchiveBytes != want {
+				t.Errorf("%s: archive bytes %d, want %d (serial/parallel equivalence)",
+					b.Name, b.ArchiveBytes, want)
+			}
+		case b.Name == "ptrc-transcode-passthrough":
+			if b.ArchiveBytes != deflateBytes {
+				t.Errorf("%s: archive bytes %d, want deflate %d", b.Name, b.ArchiveBytes, deflateBytes)
+			}
+		case b.Name == "ptrc-transcode-recode":
+			if b.ArchiveBytes != packedBytes {
+				t.Errorf("%s: archive bytes %d, want packed %d", b.Name, b.ArchiveBytes, packedBytes)
+			}
+		}
 	}
 
 	// The matrix point {1,1} is the serial pin measured once: identical

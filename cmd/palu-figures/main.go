@@ -49,6 +49,7 @@ type options struct {
 	seed       uint64
 	parallel   bool
 	shards     int
+	recWorkers int
 	cacheDir   string
 	list       bool
 	only       onlyFlags
@@ -66,6 +67,7 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed for the suite-seeded experiments")
 	flag.BoolVar(&o.parallel, "parallel", false, "run independent scenarios concurrently (one worker per CPU)")
 	flag.IntVar(&o.shards, "shards", 0, "intra-window parallel-reduce width of the streaming pipeline (0 = serial reduce per window; results are identical at any value)")
+	flag.IntVar(&o.recWorkers, "record-workers", 0, "compress workers for window-cache recording (<= 1 = serial writer; archives are byte-identical at any value)")
 	flag.StringVar(&o.cacheDir, "cache-dir", "", "PTRC window cache directory: traffic windows are recorded once and replayed thereafter")
 	flag.BoolVar(&o.list, "list", false, "print the experiment index (the content of EXPERIMENTS.md) and exit")
 	flag.StringVar(&o.metrics, "metrics", "", "write a metrics snapshot (JSON) here after the run (- = stdout)")
@@ -121,6 +123,7 @@ func run(o options) error {
 		OutDir:         o.out,
 		CacheDir:       o.cacheDir,
 		PipelineShards: o.shards,
+		RecordWorkers:  o.recWorkers,
 		Metrics:        obsReg,
 	})
 	if err != nil {

@@ -127,6 +127,7 @@ func cmdRecord(args []string) error {
 		block   = fs.Int("block", 0, "packets per PTRC block (0 = default)")
 		level   = fs.Int("level", 0, "DEFLATE level 1..9 (0 = default)")
 		codec   = fs.String("codec", "deflate", "block codec: deflate|packed")
+		workers = fs.Int("workers", 1, "parallel compress workers (<= 1 = serial; output is byte-identical at any value)")
 	)
 	fs.Parse(args)
 	if *out == "" {
@@ -153,7 +154,7 @@ func cmdRecord(args []string) error {
 	}
 	defer f.Close()
 	n, err := recordSite(f, site, *windows, *nv,
-		tracestore.WriterOptions{BlockSize: *block, Level: *level, Codec: c})
+		tracestore.WriterOptions{BlockSize: *block, Level: *level, Codec: c, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -186,11 +187,12 @@ func isPTRC(path string) (bool, error) {
 func cmdConvert(args []string) error {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	var (
-		in    = fs.String("in", "", "input trace (CSV or PTRC, sniffed; required)")
-		out   = fs.String("out", "", "output trace (opposite format; required)")
-		block = fs.Int("block", 0, "packets per PTRC block (0 = default)")
-		level = fs.Int("level", 0, "DEFLATE level 1..9 (0 = default)")
-		codec = fs.String("codec", "", "block codec for PTRC output: deflate|packed; on a PTRC input, transcode PTRC -> PTRC instead of emitting CSV")
+		in      = fs.String("in", "", "input trace (CSV or PTRC, sniffed; required)")
+		out     = fs.String("out", "", "output trace (opposite format; required)")
+		block   = fs.Int("block", 0, "packets per PTRC block (0 = default)")
+		level   = fs.Int("level", 0, "DEFLATE level 1..9 (0 = default)")
+		codec   = fs.String("codec", "", "block codec for PTRC output: deflate|packed; on a PTRC input, transcode PTRC -> PTRC instead of emitting CSV")
+		workers = fs.Int("workers", 1, "parallel compress workers for PTRC output (<= 1 = serial; output is byte-identical at any value)")
 	)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
@@ -217,11 +219,18 @@ func cmdConvert(args []string) error {
 		return err
 	}
 	defer dst.Close()
-	opts := tracestore.WriterOptions{BlockSize: *block, Level: *level, Codec: c}
+	opts := tracestore.WriterOptions{BlockSize: *block, Level: *level, Codec: c, Workers: *workers}
 	var n int64
 	switch {
 	case ptrc && *codec != "":
-		n, err = tracestore.TranscodePTRC(src, dst, opts)
+		// A PTRC input file is seekable: the index-driven transcode can
+		// re-frame blocks that need no re-encoding (same codec and block
+		// geometry) without ever inflating them.
+		st, serr := src.Stat()
+		if serr != nil {
+			return serr
+		}
+		n, err = tracestore.TranscodeArchive(src, st.Size(), dst, opts)
 	case ptrc:
 		n, err = tracestore.PTRCToCSV(src, dst)
 	default:

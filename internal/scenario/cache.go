@@ -39,6 +39,12 @@ type WindowCache struct {
 	dir string
 	m   *Metrics // engine's bundle (nil = stripped); mirrors the atomics
 
+	// recordWorkers is the tracestore.WriterOptions.Workers value for
+	// cache-miss recording (Config.RecordWorkers); archives are
+	// byte-identical at any value, so the content addressing is
+	// unaffected.
+	recordWorkers int
+
 	mu    sync.Mutex
 	locks map[string]*sync.Mutex
 
@@ -116,7 +122,7 @@ func (c *WindowCache) ensure(req WindowReq) (string, error) {
 		return "", fmt.Errorf("scenario: creating cache entry: %w", err)
 	}
 	n, err := tracestore.Record(tmp, stream.TakeValid(site.PacketSource(), req.ValidPackets()),
-		tracestore.WriterOptions{Metrics: c.m.traceMetrics()})
+		tracestore.WriterOptions{Workers: c.recordWorkers, Metrics: c.m.traceMetrics()})
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}

@@ -37,6 +37,11 @@ type Config struct {
 	// leaves the pipeline default (1). Results are identical at any
 	// shard count — this is a throughput knob only.
 	PipelineShards int
+	// RecordWorkers sets the pipelined-writer worker count
+	// (tracestore.WriterOptions.Workers) used when a window-cache miss
+	// records a fresh archive; <= 1 keeps the serial writer. Archives
+	// are byte-identical at any value — a throughput knob only.
+	RecordWorkers int
 	// Metrics, when non-nil, instruments the whole suite against that
 	// registry: scheduler spans and occupancy, window-cache counters,
 	// and the stream/PTRC bundles injected into every inner pipeline
@@ -87,6 +92,7 @@ func NewEngine(reg *Registry, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		cache.m = e.m
+		cache.recordWorkers = cfg.RecordWorkers
 		e.cache = cache
 	}
 	return e, nil

@@ -3,8 +3,9 @@ package tracestore
 // PTRC observability (DESIGN.md §11). A Metrics bundle instruments the
 // archive codecs at block granularity: the single choke point on the
 // read side is blockDecoder.decompress (every sequential and parallel
-// block passes through it), and on the write side Writer.flushBlock.
-// A nil *Metrics strips everything to inert branches.
+// block passes through it), and on the write side
+// blockEncoder.encodeRecord (shared by the serial writer and every
+// pipeline worker). A nil *Metrics strips everything to inert branches.
 
 import "hybridplaw/internal/obs"
 
@@ -52,6 +53,22 @@ type Metrics struct {
 	// PackTime spans one packed block encode.
 	UnpackTime *obs.Timer
 	PackTime   *obs.Timer
+
+	// CompressQueueDepth gauges blocks sealed by the pipelined writer's
+	// ingest side and not yet committed; CompressWorkersBusy gauges
+	// workers currently inside an encode. Both settle to zero when the
+	// writer closes cleanly.
+	CompressQueueDepth  *obs.Gauge
+	CompressWorkersBusy *obs.Gauge
+
+	// CommitStallTime spans the ordered-commit stage's waits for the
+	// next-in-order block while later blocks are already parked.
+	CommitStallTime *obs.Timer
+
+	// PassthroughBlocks counts blocks re-framed verbatim by the
+	// transcode passthrough (WriteEncodedBlock), which skip the encode
+	// stage entirely; they still count under BlocksWritten.
+	PassthroughBlocks *obs.Counter
 }
 
 // NewMetrics registers the PTRC instrument set against reg (the process
@@ -97,6 +114,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"packed block CRC check + staging time", 0),
 		PackTime: reg.Timer("palu_ptrc_pack_ns",
 			"packed block encode time", 0),
+		CompressQueueDepth: reg.Gauge("palu_ptrc_compress_queue_depth",
+			"blocks sealed for the write pipeline and not yet committed"),
+		CompressWorkersBusy: reg.Gauge("palu_ptrc_compress_workers_busy",
+			"write-pipeline workers currently encoding a block"),
+		CommitStallTime: reg.Timer("palu_ptrc_commit_stall_ns",
+			"ordered-commit waits for the next in-order block", 0),
+		PassthroughBlocks: reg.Counter("palu_ptrc_passthrough_blocks_total",
+			"blocks re-framed verbatim by the transcode passthrough"),
 	}
 }
 
@@ -157,6 +182,36 @@ func (m *Metrics) blockRead(codec Codec, compLen, rawLen int, reused bool) {
 		m.RawBufReuse.Inc()
 	} else {
 		m.RawBufAlloc.Inc()
+	}
+}
+
+// queueDepth moves the write-pipeline depth gauge: +1 per sealed batch
+// at ingest, -1 per ordered commit.
+func (m *Metrics) queueDepth(d int64) {
+	if m != nil {
+		m.CompressQueueDepth.Add(d)
+	}
+}
+
+// workerBusy moves the worker-occupancy gauge around one encode.
+func (m *Metrics) workerBusy(d int64) {
+	if m != nil {
+		m.CompressWorkersBusy.Add(d)
+	}
+}
+
+// commitStallStart opens a span over one ordered-commit wait.
+func (m *Metrics) commitStallStart() obs.Span {
+	if m == nil {
+		return obs.Span{}
+	}
+	return m.CommitStallTime.Start()
+}
+
+// passthroughBlock counts one verbatim re-framed block.
+func (m *Metrics) passthroughBlock() {
+	if m != nil {
+		m.PassthroughBlocks.Inc()
 	}
 }
 
