@@ -4,7 +4,7 @@
 // decode, per block codec), PTRC recording and transcoding (write-side
 // codec × writer-workers matrix plus the index-driven passthrough), and
 // model fitting — and writes a machine-readable JSON record.
-// BENCH_PR9.json at the repo root is the committed perf trajectory; CI
+// BENCH_PR10.json at the repo root is the committed perf trajectory; CI
 // re-runs the suite and compares against it benchstat-style. The suite
 // runs instrumented (internal/obs) and v3+ records embed the resulting
 // metrics snapshot, so every committed record also documents the
@@ -14,12 +14,16 @@
 // identical traces. v5 records add the write path: per-codec record
 // benchmarks across writer worker counts (archives are byte-identical
 // at any count, so ArchiveBytes doubles as an equivalence witness) and
-// archive-to-archive transcode benchmarks, passthrough and recode.
+// archive-to-archive transcode benchmarks, passthrough and recode. v6
+// records add the engine suite: a four-consumer scenario run over a
+// warm window cache, shared-replay against independent — the
+// ReplayedPackets column is the witness that sharing replays each
+// window once where the independent run replays it per consumer.
 //
 // Usage:
 //
-//	palu-bench -out BENCH_PR9.json                    # run + record
-//	palu-bench -out /tmp/b.json -compare BENCH_PR9.json -max-regression 5
+//	palu-bench -out BENCH_PR10.json                   # run + record
+//	palu-bench -out /tmp/b.json -compare BENCH_PR10.json -max-regression 5
 //	palu-bench -packets 500000 -replay-packets 200000 # smaller workloads
 //	palu-bench -metrics - -cpuprofile cpu.pb.gz       # snapshot + profile
 //
@@ -43,8 +47,10 @@ import (
 	"time"
 
 	"hybridplaw/internal/model"
+	"hybridplaw/internal/netgen"
 	"hybridplaw/internal/obs"
 	"hybridplaw/internal/palu"
+	"hybridplaw/internal/scenario"
 	"hybridplaw/internal/stream"
 	"hybridplaw/internal/tracestore"
 	"hybridplaw/internal/xrand"
@@ -71,17 +77,21 @@ type Record struct {
 // benchmark decoded and the archive size it read, so a committed record
 // prices the codec's size/speed trade, not just its speed.
 type Bench struct {
-	Name         string  `json:"name"`
-	CPUs         int     `json:"cpus,omitempty"`
-	Workers      int     `json:"workers,omitempty"`
-	Shards       int     `json:"shards,omitempty"`
-	Codec        string  `json:"codec,omitempty"`
-	ArchiveBytes uint64  `json:"archive_bytes,omitempty"`
-	NsPerOp      float64 `json:"ns_per_op"`
-	MBPerS       float64 `json:"mb_per_s,omitempty"`
-	MPacketsPerS float64 `json:"mpackets_per_s,omitempty"`
-	AllocsPerOp  uint64  `json:"allocs_per_op"`
-	BytesPerOp   uint64  `json:"bytes_per_op"`
+	Name         string `json:"name"`
+	CPUs         int    `json:"cpus,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+	Shards       int    `json:"shards,omitempty"`
+	Codec        string `json:"codec,omitempty"`
+	ArchiveBytes uint64 `json:"archive_bytes,omitempty"`
+	// ReplayedPackets (v6+, engine-suite entries) is the total packets the
+	// window cache replayed per op — the shared/independent pair differ by
+	// the consumer fan-out while producing byte-identical results.
+	ReplayedPackets uint64  `json:"replayed_packets,omitempty"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	MBPerS          float64 `json:"mb_per_s,omitempty"`
+	MPacketsPerS    float64 `json:"mpackets_per_s,omitempty"`
+	AllocsPerOp     uint64  `json:"allocs_per_op"`
+	BytesPerOp      uint64  `json:"bytes_per_op"`
 }
 
 const (
@@ -89,7 +99,8 @@ const (
 	schemaV2 = "palu-bench-v2" // pre-obs records: no metrics snapshot
 	schemaV3 = "palu-bench-v3" // pre-codec records: deflate-only replay
 	schemaV4 = "palu-bench-v4" // pre-write-path records: replay/fit only
-	schemaV5 = "palu-bench-v5"
+	schemaV5 = "palu-bench-v5" // pre-engine-suite records: no shared-replay pair
+	schemaV6 = "palu-bench-v6"
 )
 
 // matrixWorkers × matrixShards is the pipeline benchmark grid. The
@@ -163,6 +174,12 @@ func (s *synthTrace) Next() (stream.Packet, bool) {
 
 func (s *synthTrace) Err() error { return nil }
 
+// benchResult is the trivial scenario Result of the engine-suite
+// consumers (summary content is irrelevant to the measurement).
+type benchResult struct{}
+
+func (benchResult) Summary() string { return "bench\n" }
+
 // suiteConfig sizes the pinned workloads.
 type suiteConfig struct {
 	packets       int64 // pipeline trace length
@@ -179,7 +196,7 @@ type suiteConfig struct {
 // the hot path as shipped (the overhead gate in the root test suite
 // separately bounds the instrumented/stripped ratio).
 func runSuite(cfg suiteConfig) (Record, error) {
-	rec := Record{Schema: schemaV5, Go: runtime.Version(), CPUs: runtime.NumCPU()}
+	rec := Record{Schema: schemaV6, Go: runtime.Version(), CPUs: runtime.NumCPU()}
 	obsReg := cfg.obs
 	if obsReg == nil {
 		obsReg = obs.NewRegistry()
@@ -346,12 +363,81 @@ func runSuite(cfg suiteConfig) (Record, error) {
 		}
 	}
 
-	// Fitting: one PALU-generated observed histogram, the ZM fit and the
-	// full registry pass over it.
 	params, err := palu.FromWeights(2, 2, 1.5, 2.5, 2.0)
 	if err != nil {
 		return rec, err
 	}
+
+	// Engine suite: four scenarios declaring one identical window
+	// sequence, run through the scenario engine over a warm PTRC cache —
+	// once with the shared-replay coordinator (one physical replay fanned
+	// out to all four consumers) and once independently (one dedicated
+	// replay each). Results are byte-identical; ReplayedPackets records
+	// the cache traffic each mode paid for them, and MPackets/s is the
+	// effective delivered-packet throughput (consumers × valid packets).
+	engineDir, err := os.MkdirTemp("", "palu-bench-engine-*")
+	if err != nil {
+		return rec, err
+	}
+	defer os.RemoveAll(engineDir)
+	const engineFanOut = 4
+	engineNV := cfg.replayPackets / engineFanOut
+	if engineNV < 1 {
+		engineNV = 1
+	}
+	engineReq := scenario.WindowReq{
+		Site: netgen.SiteConfig{
+			Name: "bench-engine", Params: params, Nodes: 3000, P: 0.5,
+			WeightAlpha: 2.1, WeightDelta: 0, MaxWeight: 64,
+			InvalidFraction: 0.02, Seed: 5,
+		},
+		NV: engineNV, Windows: engineFanOut,
+	}
+	for _, mode := range []struct {
+		name   string
+		shared bool
+	}{
+		{"engine-suite-replay-shared", true},
+		{"engine-suite-replay-independent", false},
+	} {
+		var last scenario.CacheStats
+		b, err := measure(mode.name, cfg.minTime, cfg.maxIters, func() error {
+			reg := scenario.NewRegistry()
+			for i := 0; i < engineFanOut; i++ {
+				name := fmt.Sprintf("consumer%d", i)
+				reg.MustRegister(scenario.Scenario{
+					Name: name, Title: name, Windows: []scenario.WindowReq{engineReq},
+					Run: func(ctx *scenario.Context) (scenario.Result, error) {
+						_, err := ctx.Stream(engineReq, stream.PipelineConfig{},
+							stream.FuncSink(func(*stream.WindowResult) error { return nil }))
+						return benchResult{}, err
+					},
+				})
+			}
+			eng, err := scenario.NewEngine(reg, scenario.Config{
+				Workers: 1, CacheDir: engineDir, NoSharedReplay: !mode.shared,
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := eng.Run(); err != nil {
+				return err
+			}
+			last = eng.CacheStats()
+			return nil
+		})
+		if err == nil {
+			b.ReplayedPackets = uint64(last.ReplayedPackets)
+			b.MPacketsPerS = float64(engineFanOut) * float64(engineReq.ValidPackets()) /
+				(b.NsPerOp / 1e9) / 1e6
+		}
+		if err := add(b, err); err != nil {
+			return rec, err
+		}
+	}
+
+	// Fitting: one PALU-generated observed histogram, the ZM fit and the
+	// full registry pass over it.
 	h, err := palu.FastObservedHistogram(params, cfg.fitN, 0.5, xrand.New(11))
 	if err != nil {
 		return rec, err
@@ -459,7 +545,7 @@ func readRecord(path string) (Record, error) {
 		return Record{}, fmt.Errorf("%s: %w", path, err)
 	}
 	switch rec.Schema {
-	case schemaV1, schemaV2, schemaV3, schemaV4, schemaV5:
+	case schemaV1, schemaV2, schemaV3, schemaV4, schemaV5, schemaV6:
 	default:
 		return Record{}, fmt.Errorf("%s: unknown schema %q", path, rec.Schema)
 	}
@@ -469,7 +555,7 @@ func readRecord(path string) (Record, error) {
 func run(args []string, logger *log.Logger) error {
 	fs := flag.NewFlagSet("palu-bench", flag.ContinueOnError)
 	var (
-		out           = fs.String("out", "BENCH_PR9.json", "output JSON path")
+		out           = fs.String("out", "BENCH_PR10.json", "output JSON path")
 		comparePath   = fs.String("compare", "", "baseline JSON to compare against (benchstat-style ratios)")
 		maxRegression = fs.Float64("max-regression", 0, "fail when any same-hardware ns/op or any allocs/op ratio vs the baseline exceeds this factor (0 = report only)")
 		packets       = fs.Int64("packets", 2_000_000, "pipeline benchmark trace length in packets")

@@ -30,8 +30,8 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.Schema != schemaV5 {
-		t.Errorf("schema = %q, want %q", rec.Schema, schemaV5)
+	if rec.Schema != schemaV6 {
+		t.Errorf("schema = %q, want %q", rec.Schema, schemaV6)
 	}
 	// v3+ embeds the instrumented suite's snapshot; the deterministic
 	// counters must show the workload actually ran — including the packed
@@ -59,6 +59,7 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 		"ptrc-replay-sequential-packed", "ptrc-replay-parallel-packed",
 		"ptrc-record-w1-packed", "ptrc-record-w2-packed", "ptrc-record-w4-packed",
 		"ptrc-transcode-passthrough", "ptrc-transcode-recode",
+		"engine-suite-replay-shared", "engine-suite-replay-independent",
 		"fit-zm", "fit-registry",
 	}
 	if len(rec.Results) != len(want) {
@@ -128,6 +129,24 @@ func TestSuiteAndCompareRoundTrip(t *testing.T) {
 				t.Errorf("%s: archive bytes %d, want packed %d", b.Name, b.ArchiveBytes, packedBytes)
 			}
 		}
+	}
+
+	// v6 engine-suite pair: the independent run replays exactly
+	// fan-out × the packets the shared run does — the committed witness
+	// that sharing decodes each window once per run, not once per
+	// consumer.
+	var sharedReplayed, indepReplayed uint64
+	for _, b := range rec.Results {
+		switch b.Name {
+		case "engine-suite-replay-shared":
+			sharedReplayed = b.ReplayedPackets
+		case "engine-suite-replay-independent":
+			indepReplayed = b.ReplayedPackets
+		}
+	}
+	if sharedReplayed == 0 || indepReplayed != 4*sharedReplayed {
+		t.Errorf("engine-suite replayed packets shared=%d independent=%d, want exactly 4x",
+			sharedReplayed, indepReplayed)
 	}
 
 	// The matrix point {1,1} is the serial pin measured once: identical

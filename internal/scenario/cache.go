@@ -25,7 +25,21 @@ type CacheStats struct {
 	RecordedPackets int64
 	// ReplayedPackets is the total packets replayed out of archives into
 	// the pipeline, as counted by PipelineStats.SourcePacketsRead.
+	// Packets are counted once per physical replay: consumers coalesced
+	// onto one shared replay do not multiply this counter.
 	ReplayedPackets int64
+	// DeliveredWindows counts windows delivered to consumers — once per
+	// consumer, so a shared replay fanning one window out to three
+	// scenarios counts three. DeliveredWindows / windows-per-replay vs
+	// Hits+Misses is the realized sharing factor.
+	DeliveredWindows int64
+	// ReplaysSaved counts dedicated replays avoided by the shared-replay
+	// coordinator: a group of N consumers served by one physical replay
+	// saves N-1. (Engine-level; zero when sharing is disabled.)
+	ReplaysSaved int64
+	// MaxFanOut is the widest consumer fan-out any single shared replay
+	// achieved in the run. (Engine-level; zero when nothing shared.)
+	MaxFanOut int64
 }
 
 // WindowCache is the content-addressed PTRC trace cache: each WindowReq
@@ -48,10 +62,11 @@ type WindowCache struct {
 	mu    sync.Mutex
 	locks map[string]*sync.Mutex
 
-	hits     atomic.Int64
-	misses   atomic.Int64
-	recorded atomic.Int64
-	replayed atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	recorded  atomic.Int64
+	replayed  atomic.Int64
+	delivered atomic.Int64
 }
 
 // NewWindowCache opens (creating if needed) a cache rooted at dir.
@@ -71,10 +86,11 @@ func (c *WindowCache) Dir() string { return c.dir }
 // Stats returns a snapshot of the cache counters.
 func (c *WindowCache) Stats() CacheStats {
 	return CacheStats{
-		Hits:            c.hits.Load(),
-		Misses:          c.misses.Load(),
-		RecordedPackets: c.recorded.Load(),
-		ReplayedPackets: c.replayed.Load(),
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		RecordedPackets:  c.recorded.Load(),
+		ReplayedPackets:  c.replayed.Load(),
+		DeliveredWindows: c.delivered.Load(),
 	}
 }
 
@@ -192,6 +208,12 @@ func (c *WindowCache) Stream(req WindowReq, cfg stream.PipelineConfig, sinks ...
 	if stats.SourcePacketsRead > 0 {
 		c.replayed.Add(stats.SourcePacketsRead)
 		c.m.cacheReplayed(stats.SourcePacketsRead)
+	}
+	// One Stream call is one consumer's delivery; a shared replay passes
+	// a multicast here as its single sink and the engine adds the
+	// fan-out surplus on top.
+	if stats.Windows > 0 {
+		c.delivered.Add(int64(stats.Windows))
 	}
 	if err != nil {
 		return stats, err

@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"hybridplaw/internal/netgen"
+	"hybridplaw/internal/stream"
+	"hybridplaw/internal/tracestore"
+)
+
+// cacheCfg is the pipeline geometry for a direct WindowCache.Stream call
+// (Context.Stream normally fills these from the requirement).
+func cacheCfg(req WindowReq) stream.PipelineConfig {
+	return stream.PipelineConfig{NV: req.NV, MaxWindows: req.Windows, Workers: 1}
+}
+
+// TestWindowCacheTornArchive: a truncated but otherwise genuine archive
+// (e.g. a crash mid-download or a torn copy) must be detected and
+// re-recorded, never replayed short.
+func TestWindowCacheTornArchive(t *testing.T) {
+	c, err := NewWindowCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := WindowReq{Site: testSite(41), NV: 1000, Windows: 2}
+	first, err := c.Stream(req, cacheCfg(req), stream.FuncSink(func(*stream.WindowResult) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the archive: keep the header and some blocks, drop the tail
+	// (which holds later blocks plus the index/footer).
+	path := c.path(req.Key())
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := c.Stream(req, cacheCfg(req), stream.FuncSink(func(*stream.WindowResult) error { return nil }))
+	if err != nil {
+		t.Fatalf("torn archive not recovered: %v", err)
+	}
+	cs := c.Stats()
+	if cs.Misses != 2 || cs.Hits != 0 {
+		t.Errorf("hits=%d misses=%d, want 0/2 (torn file re-recorded)", cs.Hits, cs.Misses)
+	}
+	if first != second {
+		t.Errorf("re-recorded replay diverges: %+v vs %+v", second, first)
+	}
+}
+
+// TestWindowCacheWrongValidPackets: an archive that is structurally
+// valid PTRC but carries the wrong packet count for its key (a
+// collision, a renamed file, or a requirement change) is re-recorded.
+func TestWindowCacheWrongValidPackets(t *testing.T) {
+	c, err := NewWindowCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := WindowReq{Site: testSite(43), NV: 1000, Windows: 2}
+
+	// Plant a genuine archive holding only half the packets req needs.
+	site, err := netgen.NewSite(req.Site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(c.path(req.Key()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tracestore.Record(f, stream.TakeValid(site.PacketSource(), req.ValidPackets()/2),
+		tracestore.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := c.Stream(req, cacheCfg(req), stream.FuncSink(func(*stream.WindowResult) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := c.Stats()
+	if cs.Misses != 1 || cs.Hits != 0 {
+		t.Errorf("hits=%d misses=%d, want 0/1 (short archive re-recorded)", cs.Hits, cs.Misses)
+	}
+	if stats.ValidPackets != req.ValidPackets() {
+		t.Errorf("replayed %d valid packets, want %d", stats.ValidPackets, req.ValidPackets())
+	}
+	if stats.Windows != req.Windows {
+		t.Errorf("replayed %d windows, want %d", stats.Windows, req.Windows)
+	}
+}
+
+// TestWindowCacheConcurrentEnsure: concurrent requests for one key are
+// single-flighted — exactly one records, everyone else replays the same
+// archive. Meaningful under -race (CI runs this package with it).
+func TestWindowCacheConcurrentEnsure(t *testing.T) {
+	c, err := NewWindowCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := WindowReq{Site: testSite(47), NV: 1000, Windows: 1}
+	const n = 8
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		stats []stream.PipelineStats
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := c.Stream(req, cacheCfg(req), stream.FuncSink(func(*stream.WindowResult) error { return nil }))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			stats = append(stats, s)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	cs := c.Stats()
+	if cs.Misses != 1 || cs.Hits != n-1 {
+		t.Errorf("hits=%d misses=%d, want %d/1 (single-flight)", cs.Hits, cs.Misses, n-1)
+	}
+	if len(stats) != n {
+		t.Fatalf("only %d/%d replays succeeded", len(stats), n)
+	}
+	for i, s := range stats {
+		if s != stats[0] {
+			t.Errorf("replay %d diverges: %+v vs %+v", i, s, stats[0])
+		}
+	}
+	if cs.DeliveredWindows != n*int64(req.Windows) {
+		t.Errorf("delivered windows = %d, want %d", cs.DeliveredWindows, n*int64(req.Windows))
+	}
+}

@@ -1,0 +1,316 @@
+package scenario
+
+// Shared-replay coordinator (DESIGN.md §14). The engine's plan already
+// knows every scenario's declared Windows, so when several runnable
+// scenarios declare the same window sequence — same cache key AND same
+// NV×Windows cut — one physical decode + reduce can serve all of them:
+// consumers rendezvous on their group, the last arrival runs the replay
+// once with every consumer's sinks attached through a stream.Multicast,
+// and the rest receive the shared PipelineStats. Scenarios that
+// complete without streaming a declared window renounce their group
+// membership so peers never wait forever, and a parked consumer
+// releases its scheduler slot while waiting so a Workers=1 suite still
+// makes progress. Everything that cannot rendezvous — standalone
+// contexts, single-consumer keys, hard-ordered sharers, late arrivals
+// after a group already ran — falls through to the per-scenario cache
+// or direct-generation path, byte-identically.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hybridplaw/internal/netgen"
+	"hybridplaw/internal/stream"
+)
+
+// shareKey identifies one shareable window sequence: the cache key
+// (site fingerprint + valid-packet prefix) alone is not enough, because
+// two requirements may cut the same prefix into different windows —
+// sharing one physical run additionally requires the identical NV ×
+// Windows geometry.
+type shareKey struct {
+	key     string
+	nv      int64
+	windows int
+}
+
+func reqShareKey(r WindowReq) shareKey {
+	return shareKey{key: r.Key(), nv: r.NV, windows: r.Windows}
+}
+
+// replayArrival is one consumer that called Context.Stream on a group's
+// requirement and is participating in the shared run.
+type replayArrival struct {
+	name  string
+	cfg   stream.PipelineConfig
+	sinks []stream.Sink
+}
+
+// replayGroup is the rendezvous for one shareKey: the set of scenarios
+// expected to stream it, the consumers that have arrived, and the
+// outcome of the single physical replay.
+type replayGroup struct {
+	req      WindowReq
+	expected map[string]bool
+
+	mu        sync.Mutex
+	arrived   []replayArrival
+	renounced int
+	forced    bool // breakStalemate released the group early
+	running   bool // the physical replay has an owner
+	completed bool // the physical replay finished (or the group died unused)
+
+	// readyc (buffered 1) elects exactly one parked consumer to run the
+	// replay when a renounce or stalemate break completes the group from
+	// outside; done is closed when the group's outcome is in.
+	readyc chan struct{}
+	done   chan struct{}
+
+	stats       stream.PipelineStats
+	groupErr    error            // physical-run failure shared by every consumer
+	consumerErr map[string]error // per-consumer sink failures
+}
+
+// readyLocked reports whether every expected member is accounted for
+// (arrived or renounced); callers hold g.mu.
+func (g *replayGroup) readyLocked() bool {
+	return g.forced || len(g.arrived)+g.renounced >= len(g.expected)
+}
+
+// coordinator owns the replay groups of one Engine.Run.
+type coordinator struct {
+	eng        *Engine
+	slotc      chan int           // park (-1) notifications to the scheduler loop
+	resumec    chan chan struct{} // slot re-acquisition requests
+	groups     map[shareKey]*replayGroup
+	byScenario map[string][]*replayGroup
+	order      []*replayGroup // deterministic iteration for breakStalemate
+}
+
+// newCoordinator wires the groups computed by plan into a coordinator
+// for one run. members maps each group's shareKey to the scenario names
+// expected to stream it.
+func newCoordinator(eng *Engine, groups map[shareKey]*replayGroup) *coordinator {
+	co := &coordinator{
+		eng:        eng,
+		slotc:      make(chan int),
+		resumec:    make(chan chan struct{}),
+		groups:     groups,
+		byScenario: make(map[string][]*replayGroup),
+	}
+	for _, g := range groups {
+		g.readyc = make(chan struct{}, 1)
+		g.done = make(chan struct{})
+		g.consumerErr = make(map[string]error)
+		for name := range g.expected {
+			co.byScenario[name] = append(co.byScenario[name], g)
+		}
+		co.order = append(co.order, g)
+	}
+	// Deterministic stalemate-break order: by cache key, then geometry.
+	for i := 1; i < len(co.order); i++ {
+		for j := i; j > 0 && lessGroup(co.order[j], co.order[j-1]); j-- {
+			co.order[j], co.order[j-1] = co.order[j-1], co.order[j]
+		}
+	}
+	return co
+}
+
+func lessGroup(a, b *replayGroup) bool {
+	ka, kb := reqShareKey(a.req), reqShareKey(b.req)
+	if ka.key != kb.key {
+		return ka.key < kb.key
+	}
+	if ka.nv != kb.nv {
+		return ka.nv < kb.nv
+	}
+	return ka.windows < kb.windows
+}
+
+// park releases the caller's scheduler slot; resume blocks until the
+// scheduler grants one back. Between the two, the caller must only wait
+// — the slot accounting is what keeps a Workers=1 suite deadlock-free
+// while consumers rendezvous.
+func (co *coordinator) park() { co.slotc <- -1 }
+func (co *coordinator) resume() {
+	grant := make(chan struct{})
+	co.resumec <- grant
+	<-grant
+}
+
+// stream attempts to satisfy req through a shared replay for the named
+// scenario. handled=false means the coordinator has nothing to offer —
+// no group for the key, the caller is not an expected member, or the
+// group already ran — and the caller must fall through to its dedicated
+// path.
+func (co *coordinator) stream(name string, req WindowReq, cfg stream.PipelineConfig, sinks []stream.Sink) (stream.PipelineStats, error, bool) {
+	g, ok := co.groups[reqShareKey(req)]
+	if !ok || !g.expected[name] {
+		return stream.PipelineStats{}, nil, false
+	}
+	g.mu.Lock()
+	if g.running || g.completed || hasArrival(g.arrived, name) {
+		g.mu.Unlock()
+		return stream.PipelineStats{}, nil, false
+	}
+	g.arrived = append(g.arrived, replayArrival{name: name, cfg: cfg, sinks: sinks})
+	runNow := g.readyLocked()
+	if runNow {
+		g.running = true
+	}
+	g.mu.Unlock()
+
+	if runNow {
+		co.runGroup(g)
+	} else {
+		co.park()
+		select {
+		case <-g.done:
+			co.resume()
+		case <-g.readyc:
+			co.resume()
+			co.runGroup(g)
+		}
+	}
+	return g.resultFor(name)
+}
+
+func hasArrival(arrivals []replayArrival, name string) bool {
+	for _, a := range arrivals {
+		if a.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// renounce records that a scenario finished its Run without streaming
+// some of its declared windows. It is called from the scheduler loop
+// (single-threaded, after the scenario goroutine has delivered its
+// completion), so it cannot race a late arrival from that scenario.
+func (co *coordinator) renounce(name string) {
+	for _, g := range co.byScenario[name] {
+		g.mu.Lock()
+		if g.completed || g.running || hasArrival(g.arrived, name) {
+			g.mu.Unlock()
+			continue
+		}
+		g.renounced++
+		if g.readyLocked() {
+			if len(g.arrived) == 0 {
+				// Every member renounced: the group dies unused.
+				g.completed = true
+				close(g.done)
+			} else {
+				g.running = true
+				g.readyc <- struct{}{}
+			}
+		}
+		g.mu.Unlock()
+	}
+}
+
+// breakStalemate force-releases one group that has arrivals but is
+// still waiting on members that can no longer make progress (the
+// scheduler observed zero running scenarios with consumers parked).
+// The group runs with the consumers it has; members arriving after it
+// ran fall through to their dedicated path. Returns false when no group
+// is releasable.
+func (co *coordinator) breakStalemate() bool {
+	for _, g := range co.order {
+		g.mu.Lock()
+		if !g.completed && !g.running && len(g.arrived) > 0 {
+			g.forced = true
+			g.running = true
+			g.readyc <- struct{}{}
+			g.mu.Unlock()
+			return true
+		}
+		g.mu.Unlock()
+	}
+	return false
+}
+
+// runGroup executes the single physical replay for a group on the
+// calling consumer's goroutine, fanning windows out to every arrival's
+// sinks, then publishes the shared outcome and closes done. The caller
+// owns g.running; arrivals are frozen from here on.
+func (co *coordinator) runGroup(g *replayGroup) {
+	g.mu.Lock()
+	arrivals := g.arrived
+	g.mu.Unlock()
+
+	sgs := make([]*stream.SinkGroup, len(arrivals))
+	cfgs := make([]stream.PipelineConfig, len(arrivals))
+	for i, a := range arrivals {
+		sgs[i] = &stream.SinkGroup{Name: a.name, Sinks: a.sinks}
+		cfgs[i] = a.cfg
+	}
+	mc := stream.NewMulticast(sgs...)
+
+	sp := co.eng.m.sharedReplayStart()
+	stats, err := co.physicalReplay(g.req, cfgs, mc)
+	if errors.Is(err, stream.ErrAllSinkGroupsFailed) {
+		// Every failure is a consumer's own sink error; the run itself
+		// was sound (it stopped because no one was left listening).
+		err = nil
+	}
+
+	var delivered int64
+	for i, sg := range sgs {
+		delivered += sg.Delivered()
+		if serr := sg.Err(); serr != nil {
+			g.consumerErr[arrivals[i].name] = serr
+		}
+	}
+	saved := int64(len(arrivals) - 1)
+	co.eng.noteSharedReplay(saved, int64(len(arrivals)), delivered, int64(stats.Windows))
+	co.eng.m.sharedReplayEnd(sp, saved, delivered-int64(stats.Windows))
+
+	g.mu.Lock()
+	g.stats = stats
+	g.groupErr = err
+	g.completed = true
+	g.mu.Unlock()
+	close(g.done)
+}
+
+// physicalReplay runs the one shared pipeline pass: through the window
+// cache when the engine has one (recorded once, replayed thereafter),
+// from direct synthetic generation otherwise — the same two paths
+// Context.Stream uses for a dedicated run, with the consumers' configs
+// unioned.
+func (co *coordinator) physicalReplay(req WindowReq, cfgs []stream.PipelineConfig, mc *stream.Multicast) (stream.PipelineStats, error) {
+	cfg, err := stream.UnionConfigs(cfgs...)
+	if err != nil {
+		return stream.PipelineStats{}, err
+	}
+	if co.eng.cache != nil {
+		return co.eng.cache.Stream(req, cfg, mc)
+	}
+	site, err := netgen.NewSite(req.Site)
+	if err != nil {
+		return stream.PipelineStats{}, err
+	}
+	stats, err := stream.Run(site.PacketSource(), cfg, mc)
+	if err != nil {
+		return stats, err
+	}
+	if stats.Windows != req.Windows {
+		return stats, fmt.Errorf("scenario: source delivered %d windows, need %d", stats.Windows, req.Windows)
+	}
+	return stats, nil
+}
+
+// resultFor returns the named consumer's view of the group outcome: the
+// shared stats, and its own sink error when it had one, else the shared
+// physical-run error.
+func (g *replayGroup) resultFor(name string) (stream.PipelineStats, error, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err, ok := g.consumerErr[name]; ok {
+		return g.stats, err, true
+	}
+	return g.stats, g.groupErr, true
+}

@@ -25,8 +25,12 @@ func TestEngineMetricsEndToEnd(t *testing.T) {
 		Run: func(*Context) (Result, error) { return nil, errors.New("synthetic failure") },
 	})
 	obsReg := obs.NewRegistry()
+	// NoSharedReplay: this test pins the per-consumer accounting (each
+	// scenario's own replay reflected in the cache mirror and the stream
+	// counters summing both consumers); the shared path has its own
+	// metrics pins in the coordinator tests.
 	eng, err := NewEngine(reg, Config{
-		Workers: 2, CacheDir: t.TempDir(), Metrics: obsReg,
+		Workers: 2, CacheDir: t.TempDir(), Metrics: obsReg, NoSharedReplay: true,
 	})
 	if err != nil {
 		t.Fatal(err)
